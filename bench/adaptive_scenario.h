@@ -1,0 +1,50 @@
+// Shared scenario for Figures 12/13: a bounded-degree tree of 1000 nodes
+// (degree 4) with a 50-member session and a congested link chosen, as in
+// the paper, to produce a large number of duplicate requests under the
+// non-adaptive algorithm ("From the simulation set in Fig. 4, we chose a
+// network topology, session membership, and drop scenario that resulted in
+// a large number of duplicate requests").  The search is deterministic
+// given the seed.
+#pragma once
+
+#include "common.h"
+
+namespace srm::bench {
+
+struct AdaptiveScenario {
+  std::vector<net::NodeId> members;
+  net::NodeId source;
+  harness::DirectedLink congested;
+};
+
+// Scans candidate scenarios under fixed timers and returns the first whose
+// single-round request count reaches `min_requests`.
+inline AdaptiveScenario find_duplicate_heavy_scenario(std::size_t nodes,
+                                                      std::size_t g,
+                                                      std::uint64_t seed,
+                                                      double min_requests = 4) {
+  util::Rng rng(seed);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    AdaptiveScenario sc;
+    sc.members = harness::choose_members(nodes, g, rng);
+    sc.source = sc.members[rng.index(g)];
+    auto topo = topo::make_bounded_degree_tree(nodes, 4);
+    net::Routing routing(topo);
+    sc.congested =
+        harness::choose_congested_link(routing, sc.source, sc.members, rng);
+
+    // Probe with a couple of rounds of the fixed-parameter algorithm.
+    TrialSpec spec;
+    spec.topo = std::move(topo);
+    spec.members = sc.members;
+    spec.source = sc.source;
+    spec.congested = sc.congested;
+    spec.config = paper_sim_config(paper_fixed_params(g));
+    spec.seed = rng.next_u64();
+    const auto r = run_trial(std::move(spec));
+    if (static_cast<double>(r.requests) >= min_requests) return sc;
+  }
+  throw std::runtime_error("no duplicate-heavy scenario found");
+}
+
+}  // namespace srm::bench

@@ -1,0 +1,58 @@
+// Figure 12: the NON-adaptive algorithm on a duplicate-heavy scenario.
+// 10 runs of 100 loss-recovery rounds on the same topology/membership/drop;
+// each run differs only in the RNG seed for the timer choices.  Per round:
+// the number of requests and the (last-member) recovery delay.  With fixed
+// timer parameters, round N looks like round 1 — duplicates never improve.
+#include "adaptive_scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(42);
+  const int runs = static_cast<int>(flags.get_int("runs", 10));
+  const int rounds = static_cast<int>(flags.get_int("rounds", 100));
+  const std::size_t nodes = 1000, g = 50;
+
+  bench::print_header(
+      "Figure 12: non-adaptive algorithm, duplicate-heavy scenario", seed,
+      "tree 1000/deg4, G=50, fixed C1=C2=2, D1=D2=log10(G); " +
+          std::to_string(runs) + " runs x " + std::to_string(rounds) +
+          " rounds on one scenario");
+
+  const auto sc = bench::find_duplicate_heavy_scenario(nodes, g, seed);
+
+  // round -> samples across runs
+  std::vector<util::Samples> requests(rounds), delay(rounds);
+  for (int run = 0; run < runs; ++run) {
+    SrmConfig cfg = bench::paper_sim_config(paper_fixed_params(g));
+    harness::SimSession session(topo::make_bounded_degree_tree(nodes, 4),
+                                sc.members,
+                                {cfg, seed + 1000 + static_cast<std::uint64_t>(run), 1});
+    harness::RoundSpec round;
+    round.source_node = sc.source;
+    round.congested = sc.congested;
+    round.page = PageId{static_cast<SourceId>(sc.source), 0};
+    for (int r = 0; r < rounds; ++r) {
+      const auto res = harness::run_loss_round(session, round, r * 2);
+      requests[r].add(static_cast<double>(res.requests));
+      delay[r].add(res.last_member_delay_rtt);
+    }
+  }
+
+  util::Table table({"round", "requests med [q1,q3]", "delay/RTT med [q1,q3]"});
+  for (int r = 0; r < rounds; r += (r < 10 ? 1 : 10)) {
+    table.add_row({util::Table::num(static_cast<std::size_t>(r + 1)),
+                   bench::quartile_cell(requests[r]),
+                   bench::quartile_cell(delay[r])});
+  }
+  table.print(std::cout);
+
+  double early = 0, late = 0;
+  for (int r = 0; r < 10; ++r) early += requests[r].mean() / 10.0;
+  for (int r = rounds - 10; r < rounds; ++r) late += requests[r].mean() / 10.0;
+  std::cout << "\nmean requests, rounds 1-10:   " << util::Table::num(early, 2)
+            << "\nmean requests, last 10:       " << util::Table::num(late, 2)
+            << "\nPaper check: no improvement across rounds (only noise); "
+               "compare fig13.\n";
+  return 0;
+}

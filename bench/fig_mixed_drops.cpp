@@ -1,0 +1,96 @@
+// Mixed drop locations and sources (Sec. VII-A): "In actual multicast
+// sessions, successive packet losses are not necessarily from the same
+// source or on the same network link.  Simulations in [12] show that in
+// this case, the adaptive timer algorithms tune themselves to give good
+// average performance for the range of packet drops encountered."
+//
+// Each round picks a fresh (source, congested link) pair from a pool; the
+// adaptive session must still end up with fewer duplicates on average than
+// the fixed-parameter session, though it cannot specialize to one failure.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(42);
+  const int rounds = static_cast<int>(flags.get_int("rounds", 120));
+  const std::size_t nodes = 1000, g = 50;
+
+  bench::print_header(
+      "Adaptive algorithm under mixed drop locations/sources", seed,
+      "tree 1000/deg4, G=50; every round draws a random (source, congested "
+      "link); " + std::to_string(rounds) + " rounds");
+
+  util::Rng rng(seed);
+  auto members = harness::choose_members(nodes, g, rng);
+
+  // A pool of (source, link) failure scenarios shared by both sessions.
+  struct Failure {
+    net::NodeId source;
+    harness::DirectedLink link;
+  };
+  // As with Fig. 12/13, failures are drawn from scenarios that actually
+  // produce duplicates under fixed timers (losses nobody duplicates on need
+  // no tuning).  Probe candidates with a throwaway fixed-parameter session.
+  std::vector<Failure> pool;
+  {
+    auto topo = topo::make_bounded_degree_tree(nodes, 4);
+    net::Routing routing(topo);
+    int attempts = 0;
+    while (pool.size() < 8 && ++attempts < 400) {
+      const net::NodeId source = members[rng.index(g)];
+      const auto link =
+          harness::choose_congested_link(routing, source, members, rng);
+      SrmConfig probe_cfg = bench::paper_sim_config(paper_fixed_params(g));
+      harness::SimSession probe(topo::make_bounded_degree_tree(nodes, 4),
+                                members, {probe_cfg, rng.next_u64(), 1});
+      harness::RoundSpec round;
+      round.source_node = source;
+      round.congested = link;
+      round.page = PageId{static_cast<SourceId>(source), 0};
+      if (harness::run_loss_round(probe, round, 0).requests >= 4) {
+        pool.push_back(Failure{source, link});
+      }
+    }
+  }
+
+  auto run = [&](bool adaptive) {
+    SrmConfig cfg = bench::paper_sim_config(paper_fixed_params(g));
+    cfg.adaptive.enabled = adaptive;
+    harness::SimSession session(topo::make_bounded_degree_tree(nodes, 4),
+                                members, {cfg, seed, 1});
+    util::Rng pick(seed ^ 0x33);
+    // Sequence numbers advance per source page; track each separately.
+    std::unordered_map<net::NodeId, SeqNo> next;
+    util::Samples early, late;
+    for (int r = 0; r < rounds; ++r) {
+      const Failure& f = pool[pick.index(pool.size())];
+      harness::RoundSpec round;
+      round.source_node = f.source;
+      round.congested = f.link;
+      round.page = PageId{static_cast<SourceId>(f.source), 0};
+      SeqNo& q = next[f.source];
+      const auto res = harness::run_loss_round(session, round, q);
+      q += 2;
+      const double control =
+          static_cast<double>(res.requests + res.repairs);
+      (r < rounds / 3 ? early : late).add(control);
+    }
+    return std::make_pair(early.mean(), late.mean());
+  };
+
+  const auto [fixed_early, fixed_late] = run(false);
+  const auto [adapt_early, adapt_late] = run(true);
+
+  util::Table t({"scheme", "control msgs/loss (early third)",
+                 "control msgs/loss (late third)"});
+  t.add_row({"fixed", util::Table::num(fixed_early, 2),
+             util::Table::num(fixed_late, 2)});
+  t.add_row({"adaptive", util::Table::num(adapt_early, 2),
+             util::Table::num(adapt_late, 2)});
+  t.print(std::cout);
+  std::cout << "\nPaper check: with mixed failures the adaptive session "
+               "converges to average\nsettings that beat fixed parameters, "
+               "even without specializing to one link.\n";
+  return 0;
+}

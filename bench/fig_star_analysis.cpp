@@ -1,0 +1,64 @@
+// Section IV-B: probabilistic suppression on a star.  All G-1 receivers
+// detect the loss simultaneously at distance 2 from the source, so only the
+// randomized timer window (width C2 * d) differentiates them.  The expected
+// number of requests is 1 + (G-2) * 2 / (C2 * d) (the timers that expire
+// within one leaf-to-leaf propagation time of the first), verified here by
+// simulation for several G and C2, including the C2 = sqrt(G) operating
+// point the paper highlights.
+#include <cmath>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(42);
+  const int trials = static_cast<int>(flags.get_int("trials", 100));
+
+  bench::print_header("Section IV-B: star, probabilistic suppression", seed,
+                      "C1=0; drop adjacent to the source; " +
+                          std::to_string(trials) + " trials per point");
+
+  util::Rng rng(seed);
+  util::Table table({"G", "C2", "E[burst] analysis", "burst sim mean",
+                     "sim/analysis", "total sim mean"});
+
+  // The analysis counts the timers that expire within one leaf-to-leaf
+  // propagation time (2 units) of the first — the initial burst.  The full
+  // protocol additionally re-fires backed-off timers when the repair is
+  // slow, reported as "total" for context.
+  const double d = 2.0;
+  for (std::size_t g : {25u, 50u, 100u, 200u}) {
+    const double gd = static_cast<double>(g);
+    const std::vector<double> c2s{1.0, std::sqrt(gd), gd / 4.0, gd};
+    for (double c2 : c2s) {
+      util::Samples burst, total;
+      for (int t = 0; t < trials; ++t) {
+        auto star = topo::make_star(g);
+        bench::TrialSpec spec;
+        spec.source = star.leaves[0];
+        spec.congested = harness::DirectedLink{star.leaves[0], star.center};
+        spec.members = star.leaves;
+        spec.topo = std::move(star.topo);
+        spec.config.timers = TimerParams{0.0, c2, 1.0, 10.0};
+        spec.seed = rng.next_u64();
+        const auto r = bench::run_trial(std::move(spec));
+        burst.add(static_cast<double>(r.requests_within(d)));
+        total.add(static_cast<double>(r.requests));
+      }
+      const double expected =
+          std::min(gd - 1.0, 1.0 + (gd - 2.0) * 2.0 / (c2 * d));
+      table.add_row({util::Table::num(g), util::Table::num(c2, 1),
+                     util::Table::num(expected, 2),
+                     util::Table::num(burst.mean(), 2),
+                     util::Table::num(burst.mean() / expected, 2),
+                     util::Table::num(total.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper check: the simulated burst tracks the 1 + (G-2)/C2 "
+               "analysis (ratio ~1);\nC2 ~ sqrt(G) balances duplicates "
+               "against delay.  With C1=0 the backed-off\ntimers restart "
+               "near zero, so the protocol total exceeds the burst.\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// google-benchmark microbenchmarks for the simulator substrate: event queue
+// throughput, shortest-path tree computation, multicast fan-out, a complete
+// loss-recovery round, distance-estimation updates, and the drawop codec.
+// These guard the simulator's own performance (the figure sweeps run tens
+// of thousands of rounds).
+#include <benchmark/benchmark.h>
+
+#include "harness/loss_round.h"
+#include "harness/session.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "sim/event_queue.h"
+#include "topo/builders.h"
+#include "harness/scenario.h"
+#include "srm/adaptive.h"
+#include "srm/session.h"
+#include "util/rng.h"
+#include "wb/drawop.h"
+#include "wb/page.h"
+
+namespace {
+
+using namespace srm;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SptComputation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = topo::make_bounded_degree_tree(n, 4);
+  for (auto _ : state) {
+    net::Routing routing(topo);
+    benchmark::DoNotOptimize(routing.spt(0).dist.back());
+  }
+}
+BENCHMARK(BM_SptComputation)->Arg(1000)->Arg(5000);
+
+void BM_RandomTreeGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  for (auto _ : state) {
+    auto t = topo::make_random_tree(n, rng);
+    benchmark::DoNotOptimize(t.link_count());
+  }
+}
+BENCHMARK(BM_RandomTreeGeneration)->Arg(100)->Arg(1000);
+
+void BM_MulticastDelivery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = topo::make_bounded_degree_tree(n, 4);
+  sim::EventQueue queue;
+  net::MulticastNetwork net(queue, topo);
+
+  class NullSink : public net::PacketSink {
+   public:
+    void on_receive(const net::Packet&, const net::DeliveryInfo&) override {}
+  };
+  std::vector<std::unique_ptr<NullSink>> sinks;
+  for (net::NodeId v = 0; v < n; ++v) {
+    sinks.push_back(std::make_unique<NullSink>());
+    net.attach(v, sinks.back().get());
+    net.join(1, v);
+  }
+  class Tiny : public net::Message {
+   public:
+    std::string describe() const override { return "tiny"; }
+  };
+  for (auto _ : state) {
+    net::Packet p;
+    p.group = 1;
+    p.payload = std::make_shared<Tiny>();
+    net.multicast(0, std::move(p));
+    queue.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_MulticastDelivery)->Arg(100)->Arg(1000);
+
+void BM_FullLossRecoveryRound(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  auto members = harness::choose_members(1000, g, rng);
+  SrmConfig cfg;
+  cfg.timers = paper_fixed_params(g);
+  harness::SimSession session(topo::make_bounded_degree_tree(1000, 4),
+                              members, {cfg, 11, 1});
+  const net::NodeId source = members[0];
+  const auto congested = harness::choose_congested_link(
+      session.network().routing(), source, members, rng);
+  harness::RoundSpec round;
+  round.source_node = source;
+  round.congested = congested;
+  round.page = PageId{static_cast<SourceId>(source), 0};
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        harness::run_loss_round(session, round, seq).requests);
+    seq += 2;
+  }
+}
+BENCHMARK(BM_FullLossRecoveryRound)->Arg(20)->Arg(100);
+
+void BM_DistanceEstimatorExchange(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::LocalClock clock(q, 0.0);
+  DistanceEstimator est(clock);
+  std::map<SourceId, SessionMessage::Echo> echoes;
+  echoes[1] = SessionMessage::Echo{0.0, 1.0};
+  SourceId peer = 2;
+  for (auto _ : state) {
+    SessionMessage msg(peer, 0.0, {}, echoes);
+    est.on_session_message(msg, 1);
+    benchmark::DoNotOptimize(est.distance(peer));
+    peer = 2 + (peer + 1) % 128;  // rotate through a realistic peer set
+  }
+}
+BENCHMARK(BM_DistanceEstimatorExchange);
+
+void BM_AdaptiveTunerRound(benchmark::State& state) {
+  AdaptiveParams params;
+  params.enabled = true;
+  AdaptiveTuner tuner(params, {0.5, 2.0, 1.0, 200.0}, 2.0, 2.0);
+  std::size_t dups = 0;
+  for (auto _ : state) {
+    tuner.end_period(dups++ % 3);
+    tuner.record_delay(1.5);
+    tuner.adapt_on_timer_set(dups % 2 == 0);
+    benchmark::DoNotOptimize(tuner.width());
+  }
+}
+BENCHMARK(BM_AdaptiveTunerRound);
+
+void BM_PageVisibleOps(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  wb::Page page(PageId{1, 0});
+  for (SeqNo q = 0; q < n; ++q) {
+    wb::DrawOp op;
+    op.type = wb::OpType::kLine;
+    op.timestamp = static_cast<double>((q * 31) % 97);
+    page.apply(DataName{1, PageId{1, 0}, q}, op);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(page.visible_ops().size());
+  }
+}
+BENCHMARK(BM_PageVisibleOps)->Arg(100)->Arg(1000);
+
+void BM_TtlReach(benchmark::State& state) {
+  const auto topo = topo::make_bounded_degree_tree(1000, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::ttl_reach(topo, 0, 8).size());
+  }
+}
+BENCHMARK(BM_TtlReach);
+
+void BM_DrawOpCodecRoundTrip(benchmark::State& state) {
+  wb::DrawOp op;
+  op.type = wb::OpType::kText;
+  op.text = "the quick brown fox jumps over the lazy dog";
+  op.timestamp = 123.456;
+  for (auto _ : state) {
+    const auto decoded = wb::decode(wb::encode(op));
+    benchmark::DoNotOptimize(decoded->timestamp);
+  }
+}
+BENCHMARK(BM_DrawOpCodecRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

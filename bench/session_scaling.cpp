@@ -1,0 +1,103 @@
+// Session-message scaling: the vat-style rate adaptation of Sec. III-A and
+// the hierarchical representatives of Sec. IX-A.
+//
+// Panel 1 (flat sessions): the mean reporting interval grows linearly with
+// the group size, so the aggregate session bandwidth stays a fixed fraction
+// of the data bandwidth no matter how many members there are.
+//
+// Panel 2 (hierarchy): on a tree of LANs, electing one representative per
+// LAN cuts the session packets crossing the backbone by ~the LAN size,
+// while every member still learns its distance to its representative.
+#include <memory>
+
+#include "common.h"
+#include "srm/session_hierarchy.h"
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(42);
+
+  bench::print_header("Session-message scaling (Sec. III-A, IX-A)", seed, "");
+
+  {
+    std::cout << "flat reporting: interval scales with G, aggregate "
+                 "bandwidth constant\n";
+    SessionConfig cfg;
+    cfg.bandwidth_fraction = 0.05;
+    cfg.data_bandwidth_bytes = 8000.0;
+    cfg.min_interval = 0.0;
+    SessionScheduler sched(cfg, util::Rng(seed));
+    util::Table t({"G", "mean interval (s)", "per-member B/s",
+                   "aggregate B/s", "budget B/s"});
+    for (std::size_t g : {10u, 100u, 1000u, 10000u}) {
+      const double iv = sched.mean_interval(g, 100);
+      const double per = 100.0 / iv;
+      t.add_row({util::Table::num(g), util::Table::num(iv, 2),
+                 util::Table::num(per, 2),
+                 util::Table::num(per * static_cast<double>(g), 1),
+                 util::Table::num(0.05 * 8000.0, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nhierarchical representatives on a tree of LANs "
+                 "(session packets crossing the backbone, 500 s)\n";
+    util::Table t({"LANs x hosts", "members", "flat backbone rx",
+                   "hier backbone rx", "reduction"});
+    for (const auto& [lans, hosts] : std::vector<std::pair<int, int>>{
+             {5, 5}, {10, 5}, {10, 10}}) {
+      auto run = [&](bool hierarchical) -> std::uint64_t {
+        auto tl = topo::make_tree_of_lans(lans, 3, hosts);
+        harness::SimSession session(std::move(tl.topo), tl.workstations,
+                                    {SrmConfig{}, seed, 1});
+        std::uint64_t backbone_rx = 0;
+        session.network().set_delivery_observer(
+            [&](const net::Packet& p, const net::DeliveryInfo& info) {
+              if (dynamic_cast<const SessionMessage*>(p.payload.get()) &&
+                  info.hops > 2) {
+                ++backbone_rx;
+              }
+            });
+        util::Rng rng(seed ^ 0xBEEF);
+        HierarchyConfig hcfg;
+        hcfg.local_ttl = 2;
+        hcfg.report_interval = 10.0;
+        std::vector<std::unique_ptr<SessionHierarchy>> hier;
+        if (hierarchical) {
+          session.for_each_agent([&](SrmAgent& a) {
+            hier.push_back(
+                std::make_unique<SessionHierarchy>(a, hcfg, rng.fork()));
+            hier.back()->start();
+          });
+          session.queue().run_until(500.0);
+        } else {
+          for (int round = 0; round < 50; ++round) {
+            session.for_each_agent([&](SrmAgent& a) {
+              session.queue().schedule_after(
+                  10.0 * round + rng.uniform(0.0, 10.0),
+                  [&a] { a.send_session_message(); });
+            });
+          }
+          session.queue().run_until(500.0);
+        }
+        return backbone_rx;
+      };
+      const auto flat = run(false);
+      const auto hier = run(true);
+      t.add_row({std::to_string(lans) + " x " + std::to_string(hosts),
+                 util::Table::num(std::size_t(lans * hosts)),
+                 util::Table::num(flat), util::Table::num(hier),
+                 util::Table::num(static_cast<double>(flat) /
+                                      std::max<std::uint64_t>(1, hier),
+                                  1) +
+                     "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: the hierarchy's backbone session traffic is "
+                 "cut by roughly the\nLAN size (only one representative per "
+                 "LAN reports globally).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The adaptive timer algorithm in action (Sec. VII-A).
+//
+// A sparse 40-member session on a 500-node tree suffers a persistent lossy
+// link.  With fixed timer parameters every loss triggers several duplicate
+// requests; with the adaptive algorithm, members tune C1/C2/D1/D2 from the
+// duplicates and delays they observe, and after a few dozen losses the
+// session converges to ~1 request and ~1 repair per loss.
+//
+//   $ ./examples/adaptive_timers [--rounds=60] [--seed=3]
+#include <iostream>
+
+#include "harness/loss_round.h"
+#include "harness/scenario.h"
+#include "harness/session.h"
+#include "topo/builders.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed(3);
+  const int rounds = static_cast<int>(flags.get_int("rounds", 60));
+
+  util::Rng rng(seed);
+  const std::size_t nodes = 500, g = 40;
+
+  auto make_session = [&](bool adaptive,
+                          const std::vector<net::NodeId>& members) {
+    SrmConfig cfg;
+    cfg.timers = paper_fixed_params(g);
+    cfg.adaptive.enabled = adaptive;
+    if (adaptive) cfg.backoff_factor = 3.0;
+    return std::make_unique<harness::SimSession>(
+        topo::make_bounded_degree_tree(nodes, 4), members,
+        harness::SimSession::Options{cfg, seed, 1});
+  };
+
+  // As in the paper's Fig. 12/13, pick a membership and drop location that
+  // produce duplicate control traffic under fixed timers.
+  std::vector<net::NodeId> members;
+  net::NodeId source = 0;
+  harness::DirectedLink congested{0, 0};
+  harness::RoundSpec round;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    members = harness::choose_members(nodes, g, rng);
+    source = members[rng.index(g)];
+    auto probe = make_session(false, members);
+    congested = harness::choose_congested_link(probe->network().routing(),
+                                               source, members, rng);
+    round.source_node = source;
+    round.congested = congested;
+    round.page = PageId{static_cast<SourceId>(source), 0};
+    const auto r = harness::run_loss_round(*probe, round, 0);
+    if (r.requests + r.repairs >= 5) break;
+  }
+
+  auto fixed = make_session(false, members);
+  auto adaptive = make_session(true, members);
+
+  std::cout << "sparse session: " << g << " members on a " << nodes
+            << "-node degree-4 tree, one persistent lossy link\n"
+            << "per-loss control traffic (requests+repairs), fixed vs "
+               "adaptive timers:\n\n";
+
+  util::Table table({"round", "fixed req", "fixed rep", "adaptive req",
+                     "adaptive rep", "adaptive C1@src", "adaptive C2@src"});
+  for (int r = 0; r < rounds; ++r) {
+    const auto rf = harness::run_loss_round(*fixed, round, r * 2);
+    const auto ra = harness::run_loss_round(*adaptive, round, r * 2);
+    if (r < 5 || (r + 1) % 10 == 0) {
+      // Show the adapted parameters of one affected member for flavor.
+      const auto affected = harness::affected_members(
+          adaptive->network().routing(), source, congested, members);
+      const SrmAgent& probe = adaptive->agent_at(affected.front());
+      table.add_row({util::Table::num(static_cast<std::size_t>(r + 1)),
+                     util::Table::num(rf.requests),
+                     util::Table::num(rf.repairs),
+                     util::Table::num(ra.requests),
+                     util::Table::num(ra.repairs),
+                     util::Table::num(probe.c1(), 2),
+                     util::Table::num(probe.c2(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe adaptive session settles near one request and one "
+               "repair per loss;\nthe fixed-parameter session keeps paying "
+               "the duplicate tax forever.\n";
+  return 0;
+}

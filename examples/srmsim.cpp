@@ -1,0 +1,187 @@
+// srmsim — a command-line scenario driver for the SRM simulator, in the
+// spirit of the ns scripts the authors used.  Builds a topology, places a
+// session, injects losses, runs loss-recovery rounds, and reports the
+// per-round statistics plus a conformance-check summary.
+//
+// Examples:
+//   ./examples/srmsim --topo=btree --nodes=1000 --degree=4 --members=50
+//                      --rounds=40 --adaptive=true --seed=7   (one line)
+//   ./examples/srmsim --topo=random-tree --nodes=200 --members=200
+//   ./examples/srmsim --topo=transit-stub --members=60 --rounds=20
+//   ./examples/srmsim --topo=star --nodes=100 --c1=0 --c2=50
+//
+// Flags (defaults in brackets):
+//   --topo       btree | random-tree | random-graph | chain | star | ring |
+//                dumbbell | transit-stub | lans            [btree]
+//   --nodes      topology size                             [1000]
+//   --degree     interior degree for btree                 [4]
+//   --edges      edge count for random-graph               [3*nodes/2]
+//   --members    session size (0 = all nodes)              [50]
+//   --rounds     loss-recovery rounds                      [10]
+//   --adaptive   adaptive timer adjustment                 [false]
+//   --c1/c2/d1/d2  timer parameters                        [2/2/log10 G]
+//   --backoff    request-timer backoff multiplier          [3]
+//   --seed       RNG seed                                  [1]
+//   --verbose    print every request/repair                [false]
+#include <iostream>
+
+#include "harness/conformance.h"
+#include "harness/loss_round.h"
+#include "harness/scenario.h"
+#include "harness/session.h"
+#include "topo/builders.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace srm;
+
+struct BuiltTopology {
+  net::Topology topo;
+  std::vector<net::NodeId> candidates;  // nodes members may be placed on
+};
+
+BuiltTopology build_topology(const std::string& kind, std::size_t nodes,
+                             int degree, std::size_t edges, util::Rng& rng) {
+  auto everything = [](const net::Topology& t) {
+    std::vector<net::NodeId> v(t.node_count());
+    for (std::size_t i = 0; i < t.node_count(); ++i) {
+      v[i] = static_cast<net::NodeId>(i);
+    }
+    return v;
+  };
+  if (kind == "btree") {
+    auto t = topo::make_bounded_degree_tree(nodes, degree);
+    auto c = everything(t);
+    return {std::move(t), std::move(c)};
+  }
+  if (kind == "random-tree") {
+    auto t = topo::make_random_tree(nodes, rng);
+    auto c = everything(t);
+    return {std::move(t), std::move(c)};
+  }
+  if (kind == "random-graph") {
+    auto t = topo::make_random_graph(nodes, edges, rng);
+    auto c = everything(t);
+    return {std::move(t), std::move(c)};
+  }
+  if (kind == "chain") {
+    auto t = topo::make_chain(nodes);
+    auto c = everything(t);
+    return {std::move(t), std::move(c)};
+  }
+  if (kind == "ring") {
+    auto t = topo::make_ring(nodes);
+    auto c = everything(t);
+    return {std::move(t), std::move(c)};
+  }
+  if (kind == "star") {
+    auto s = topo::make_star(nodes);
+    return {std::move(s.topo), std::move(s.leaves)};
+  }
+  if (kind == "dumbbell") {
+    auto d = topo::make_dumbbell(nodes / 2);
+    std::vector<net::NodeId> c = d.left_hosts;
+    c.insert(c.end(), d.right_hosts.begin(), d.right_hosts.end());
+    return {std::move(d.topo), std::move(c)};
+  }
+  if (kind == "transit-stub") {
+    auto ts = topo::make_transit_stub(4, 3, std::max<std::size_t>(4, nodes / 48),
+                                      rng);
+    return {std::move(ts.topo), std::move(ts.stub_nodes)};
+  }
+  if (kind == "lans") {
+    auto tl = topo::make_tree_of_lans(std::max<std::size_t>(2, nodes / 6), 3, 5);
+    return {std::move(tl.topo), std::move(tl.workstations)};
+  }
+  throw std::invalid_argument("unknown --topo: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const std::string kind = flags.get_string("topo", "btree");
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 1000));
+  const int degree = static_cast<int>(flags.get_int("degree", 4));
+  const auto edges = static_cast<std::size_t>(
+      flags.get_int("edges", static_cast<std::int64_t>(nodes) * 3 / 2));
+  auto member_count = static_cast<std::size_t>(flags.get_int("members", 50));
+  const int rounds = static_cast<int>(flags.get_int("rounds", 10));
+  const std::uint64_t seed = flags.get_seed(1);
+  const bool verbose = flags.get_bool("verbose", false);
+
+  util::Rng rng(seed);
+  BuiltTopology built = build_topology(kind, nodes, degree, edges, rng);
+  if (member_count == 0 || member_count > built.candidates.size()) {
+    member_count = built.candidates.size();
+  }
+  rng.shuffle(built.candidates);
+  std::vector<net::NodeId> members(built.candidates.begin(),
+                                   built.candidates.begin() +
+                                       static_cast<long>(member_count));
+  std::sort(members.begin(), members.end());
+
+  SrmConfig cfg;
+  const double lg = std::log10(static_cast<double>(member_count));
+  cfg.timers.c1 = flags.get_double("c1", 2.0);
+  cfg.timers.c2 = flags.get_double("c2", 2.0);
+  cfg.timers.d1 = flags.get_double("d1", lg);
+  cfg.timers.d2 = flags.get_double("d2", lg);
+  cfg.backoff_factor = flags.get_double("backoff", 3.0);
+  cfg.adaptive.enabled = flags.get_bool("adaptive", false);
+
+  std::cout << "srmsim: " << kind << " with " << built.topo.node_count()
+            << " nodes, " << member_count << " members, seed " << seed
+            << (cfg.adaptive.enabled ? ", adaptive timers" : "") << "\n";
+
+  harness::SimSession session(std::move(built.topo), members,
+                              {cfg, seed, /*group=*/1});
+  harness::ConformanceChecker checker(session.network(), session.directory(),
+                                      cfg.holddown_multiplier);
+  if (verbose) {
+    session.network().set_send_observer(
+        [&](net::NodeId from, const net::Packet& p) {
+          std::cout << "  t=" << session.queue().now() << " node " << from
+                    << " " << p.payload->describe() << "\n";
+        });
+  }
+
+  const net::NodeId source = members[rng.index(members.size())];
+  const auto congested = harness::choose_congested_link(
+      session.network().routing(), source, members, rng);
+  std::cout << "source node " << source << ", congested link ("
+            << congested.from << " -> " << congested.to << ")\n\n";
+
+  util::Table table({"round", "affected", "requests", "repairs",
+                     "last delay (s)", "last delay/RTT"});
+  harness::RoundSpec spec;
+  spec.source_node = source;
+  spec.congested = congested;
+  spec.page = PageId{static_cast<SourceId>(source), 0};
+  for (int r = 0; r < rounds; ++r) {
+    const auto res = harness::run_loss_round(session, spec, r * 2);
+    table.add_row({util::Table::num(static_cast<std::size_t>(r + 1)),
+                   util::Table::num(res.affected),
+                   util::Table::num(res.requests),
+                   util::Table::num(res.repairs),
+                   util::Table::num(res.max_delay_seconds, 2),
+                   util::Table::num(res.last_member_delay_rtt, 2)});
+    if (res.recovered != res.affected) {
+      std::cout << "WARNING: round " << r + 1 << " recovered "
+                << res.recovered << "/" << res.affected << "\n";
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nconformance: "
+            << (checker.clean() ? std::string("clean\n") : checker.report());
+  std::cout << "network totals: "
+            << session.network().stats().multicasts_sent << " multicasts, "
+            << session.network().stats().link_transmissions
+            << " link transmissions, " << session.network().stats().drops
+            << " drops\n";
+  return checker.clean() ? 0 : 1;
+}

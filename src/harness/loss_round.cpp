@@ -1,0 +1,148 @@
+#include "harness/loss_round.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "net/drop_policy.h"
+#include "srm/messages.h"
+
+namespace srm::harness {
+
+namespace {
+
+bool is_request(const net::Packet& p) {
+  return dynamic_cast<const RequestMessage*>(p.payload.get()) != nullptr;
+}
+
+bool is_repair(const net::Packet& p) {
+  return dynamic_cast<const RepairMessage*>(p.payload.get()) != nullptr;
+}
+
+}  // namespace
+
+RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
+                           SeqNo seq) {
+  auto& net = session.network();
+  auto& queue = session.queue();
+  SrmAgent& source = session.agent_at(spec.source_node);
+  const DataName dropped{source.id(), spec.page, seq};
+
+  // --- instrumentation ------------------------------------------------------
+  // Chain onto (and later restore) any observers already installed, e.g. a
+  // ConformanceChecker or a bench's own counters.
+  RoundResult result;
+  std::set<net::NodeId> repair_reach;
+  const sim::Time round_start = queue.now();
+  const net::MulticastNetwork::SendObserver previous_send =
+      net.send_observer();
+  const net::MulticastNetwork::DeliveryObserver previous_delivery =
+      net.delivery_observer();
+  net.set_send_observer([&](net::NodeId from, const net::Packet& p) {
+    if (is_request(p)) {
+      ++result.requests;
+      result.request_times.push_back(queue.now() - round_start);
+    } else if (is_repair(p)) {
+      ++result.repairs;
+      result.repair_times.push_back(queue.now() - round_start);
+      repair_reach.insert(from);
+    }
+    if (previous_send) previous_send(from, p);
+  });
+  net.set_delivery_observer(
+      [&](const net::Packet& p, const net::DeliveryInfo& info) {
+        if (is_repair(p)) repair_reach.insert(info.receiver);
+        if (previous_delivery) previous_delivery(p, info);
+      });
+
+  // Snapshot per-agent sample counts so only this round's samples are read.
+  struct Snapshot {
+    std::size_t recoveries;
+    std::size_t request_delays;
+  };
+  std::vector<Snapshot> before;
+  before.reserve(session.member_count());
+  for (std::size_t i = 0; i < session.member_count(); ++i) {
+    const AgentMetrics& m = session.agent(i).metrics();
+    before.push_back(Snapshot{m.recovery_delay_seconds.values().size(),
+                              m.request_delay_rtt.values().size()});
+  }
+  const std::uint64_t links_before = net.stats().link_transmissions;
+
+  // --- the loss -------------------------------------------------------------
+  auto drop = std::make_shared<net::ScriptedLinkDrop>(
+      spec.congested.from, spec.congested.to,
+      [dropped](const net::Packet& p) {
+        const auto* d = dynamic_cast<const DataMessage*>(p.payload.get());
+        return d != nullptr && d->name() == dropped;
+      });
+  net.set_drop_policy(drop);
+
+  const DataName sent = source.send_data(spec.page, Payload{0xAB});
+  if (sent != dropped) {
+    throw std::logic_error("run_loss_round: unexpected sequence number");
+  }
+  queue.schedule_after(spec.inter_packet_gap, [&source, &spec] {
+    source.send_data(spec.page, Payload{0xCD});
+  });
+  queue.run();
+
+  if (drop->drops_so_far() != 1) {
+    throw std::logic_error("run_loss_round: packet was not dropped");
+  }
+
+  // --- collection -----------------------------------------------------------
+  const auto affected = affected_members(net.routing(), spec.source_node,
+                                         spec.congested,
+                                         session.member_nodes());
+  result.affected = affected.size();
+  result.link_transmissions = net.stats().link_transmissions - links_before;
+
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (net::NodeId m : affected) {
+    min_dist = std::min(min_dist, net.distance(spec.source_node, m));
+  }
+
+  double max_abs_delay = -1.0;
+  double closest_req_delay = std::numeric_limits<double>::infinity();
+  for (net::NodeId m : affected) {
+    SrmAgent& agent = session.agent_at(m);
+    const AgentMetrics& metrics = agent.metrics();
+    const Snapshot& snap = before[std::distance(
+        session.member_nodes().begin(),
+        std::find(session.member_nodes().begin(),
+                  session.member_nodes().end(), m))];
+
+    const auto& delays = metrics.recovery_delay_seconds.values();
+    const auto& delays_rtt = metrics.recovery_delay_rtt.values();
+    if (delays.size() > snap.recoveries) {
+      ++result.recovered;
+      // Exactly one loss per round, so at most one new sample.
+      const double abs = delays.back();
+      if (abs > max_abs_delay) {
+        max_abs_delay = abs;
+        result.last_member_delay_rtt = delays_rtt.back();
+        result.max_delay_seconds = abs;
+      }
+    }
+    const auto& req_delays = metrics.request_delay_rtt.values();
+    if (req_delays.size() > snap.request_delays &&
+        net.distance(spec.source_node, m) <= min_dist) {
+      closest_req_delay = std::min(closest_req_delay, req_delays.back());
+    }
+  }
+  if (closest_req_delay < std::numeric_limits<double>::infinity()) {
+    result.closest_request_delay_rtt = closest_req_delay;
+    result.closest_request_delay_valid = true;
+  }
+  result.members_reached_by_repair = repair_reach.size();
+
+  // --- teardown -------------------------------------------------------------
+  net.set_drop_policy(nullptr);
+  net.set_send_observer(previous_send);
+  net.set_delivery_observer(previous_delivery);
+  return result;
+}
+
+}  // namespace srm::harness

@@ -1,0 +1,33 @@
+#include "harness/session.h"
+
+#include <stdexcept>
+
+namespace srm::harness {
+
+SimSession::SimSession(net::Topology topo,
+                       std::vector<net::NodeId> member_nodes, Options options)
+    : topo_(std::move(topo)),
+      network_(queue_, topo_),
+      rng_(options.seed),
+      member_nodes_(std::move(member_nodes)) {
+  agents_.reserve(member_nodes_.size());
+  for (std::size_t i = 0; i < member_nodes_.size(); ++i) {
+    const net::NodeId node = member_nodes_[i];
+    auto agent = std::make_unique<SrmAgent>(
+        network_, directory_, node, /*id=*/static_cast<SourceId>(node),
+        options.group, options.srm, rng_.fork());
+    agent->start();
+    index_of_[node] = i;
+    agents_.push_back(std::move(agent));
+  }
+}
+
+SrmAgent& SimSession::agent_at(net::NodeId node) {
+  const auto it = index_of_.find(node);
+  if (it == index_of_.end()) {
+    throw std::out_of_range("SimSession::agent_at: node has no member");
+  }
+  return *agents_[it->second];
+}
+
+}  // namespace srm::harness

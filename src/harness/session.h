@@ -1,0 +1,65 @@
+// A complete simulated SRM session: event queue, multicast network over a
+// topology, member directory, and one SrmAgent per member node.
+// This is the top-level object benches, examples and integration tests
+// construct; everything in it is deterministic given the seed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "srm/agent.h"
+#include "srm/config.h"
+#include "util/rng.h"
+
+namespace srm::harness {
+
+class SimSession {
+ public:
+  struct Options {
+    SrmConfig srm;
+    std::uint64_t seed = 1;
+    net::GroupId group = 1;
+  };
+
+  // Builds the world and starts an agent at every node in `member_nodes`.
+  // Member Source-IDs equal their node ids (a simulator convenience; the
+  // directory still mediates every id -> node lookup).
+  SimSession(net::Topology topo, std::vector<net::NodeId> member_nodes,
+             Options options);
+
+  sim::EventQueue& queue() { return queue_; }
+  net::MulticastNetwork& network() { return network_; }
+  const net::Topology& topology() const { return topo_; }
+  MemberDirectory& directory() { return directory_; }
+  util::Rng& rng() { return rng_; }
+
+  const std::vector<net::NodeId>& member_nodes() const {
+    return member_nodes_;
+  }
+  std::size_t member_count() const { return member_nodes_.size(); }
+
+  SrmAgent& agent_at(net::NodeId node);
+  SrmAgent& agent(std::size_t index) { return *agents_.at(index); }
+
+  // Applies fn to every agent.
+  template <typename Fn>
+  void for_each_agent(Fn&& fn) {
+    for (auto& a : agents_) fn(*a);
+  }
+
+ private:
+  net::Topology topo_;
+  sim::EventQueue queue_;
+  net::MulticastNetwork network_;
+  MemberDirectory directory_;
+  util::Rng rng_;
+  std::vector<net::NodeId> member_nodes_;
+  std::vector<std::unique_ptr<SrmAgent>> agents_;
+  std::unordered_map<net::NodeId, std::size_t> index_of_;
+};
+
+}  // namespace srm::harness

@@ -1,0 +1,66 @@
+#include "net/drop_policy.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace srm::net {
+
+ScriptedLinkDrop::ScriptedLinkDrop(NodeId from, NodeId to, Predicate match,
+                                   std::size_t max_drops)
+    : from_(from), to_(to), match_(std::move(match)), max_drops_(max_drops) {
+  if (!match_) {
+    throw std::invalid_argument("ScriptedLinkDrop: null predicate");
+  }
+}
+
+bool ScriptedLinkDrop::should_drop(const Packet& packet,
+                                   const HopContext& hop) {
+  if (drops_ >= max_drops_) return false;
+  if (hop.from != from_ || hop.to != to_) return false;
+  if (!match_(packet)) return false;
+  ++drops_;
+  return true;
+}
+
+void ScriptedLinkDrop::rearm(std::size_t max_drops) {
+  drops_ = 0;
+  max_drops_ = max_drops;
+}
+
+RandomDrop::RandomDrop(double rate, util::Rng rng, Predicate match)
+    : rate_(rate), rng_(std::move(rng)), match_(std::move(match)) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("RandomDrop: rate outside [0,1]");
+  }
+}
+
+void RandomDrop::restrict_to(NodeId from, NodeId to) {
+  restricted_ = true;
+  from_ = from;
+  to_ = to;
+}
+
+bool RandomDrop::should_drop(const Packet& packet, const HopContext& hop) {
+  if (restricted_ && (hop.from != from_ || hop.to != to_)) return false;
+  if (match_ && !match_(packet)) return false;
+  if (!rng_.chance(rate_)) return false;
+  ++drops_;
+  return true;
+}
+
+void CompositeDrop::add(std::shared_ptr<DropPolicy> policy) {
+  if (!policy) throw std::invalid_argument("CompositeDrop::add: null policy");
+  policies_.push_back(std::move(policy));
+}
+
+bool CompositeDrop::should_drop(const Packet& packet, const HopContext& hop) {
+  bool drop = false;
+  // Every policy sees every hop so stateful policies stay in sync even when
+  // an earlier policy already decided to drop.
+  for (const auto& p : policies_) {
+    if (p->should_drop(packet, hop)) drop = true;
+  }
+  return drop;
+}
+
+}  // namespace srm::net

@@ -1,0 +1,98 @@
+// Loss injection.
+//
+// The paper's loss-recovery experiments drop one specific data packet on one
+// "congested link" per round (Sec. V); extended scenarios add random loss
+// and loss of requests/repairs themselves (Sec. VII-A).  A DropPolicy is
+// consulted once per directed link traversal of each multicast transmission,
+// so a drop prunes the whole subtree below the congested link, exactly as a
+// real multicast forwarding drop would.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace srm::net {
+
+struct HopContext {
+  LinkId link;
+  NodeId from;
+  NodeId to;
+};
+
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  // Returns true if this packet should be dropped on this directed hop.
+  virtual bool should_drop(const Packet& packet, const HopContext& hop) = 0;
+};
+
+// Never drops anything.
+class NoDrop final : public DropPolicy {
+ public:
+  bool should_drop(const Packet&, const HopContext&) override { return false; }
+};
+
+// Drops packets matching a predicate on a specific directed link, up to a
+// maximum count (default 1).  This is the paper's "congested link" that
+// drops the first packet from the source.
+class ScriptedLinkDrop final : public DropPolicy {
+ public:
+  using Predicate = std::function<bool(const Packet&)>;
+
+  ScriptedLinkDrop(NodeId from, NodeId to, Predicate match,
+                   std::size_t max_drops = 1);
+
+  bool should_drop(const Packet& packet, const HopContext& hop) override;
+
+  std::size_t drops_so_far() const { return drops_; }
+  void rearm(std::size_t max_drops = 1);
+
+ private:
+  NodeId from_;
+  NodeId to_;
+  Predicate match_;
+  std::size_t max_drops_;
+  std::size_t drops_ = 0;
+};
+
+// Drops packets matching an (optional) predicate with fixed probability on
+// every hop, or only on one directed link if specified.
+class RandomDrop final : public DropPolicy {
+ public:
+  using Predicate = std::function<bool(const Packet&)>;
+
+  RandomDrop(double rate, util::Rng rng, Predicate match = nullptr);
+
+  // Restricts loss to a single directed link.
+  void restrict_to(NodeId from, NodeId to);
+
+  bool should_drop(const Packet& packet, const HopContext& hop) override;
+
+  std::size_t drops_so_far() const { return drops_; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Predicate match_;
+  bool restricted_ = false;
+  NodeId from_ = kInvalidNode;
+  NodeId to_ = kInvalidNode;
+  std::size_t drops_ = 0;
+};
+
+// Applies several policies in order; drops if any of them drops.
+class CompositeDrop final : public DropPolicy {
+ public:
+  void add(std::shared_ptr<DropPolicy> policy);
+  bool should_drop(const Packet& packet, const HopContext& hop) override;
+
+ private:
+  std::vector<std::shared_ptr<DropPolicy>> policies_;
+};
+
+}  // namespace srm::net

@@ -1,0 +1,185 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace srm::net {
+
+MulticastNetwork::MulticastNetwork(sim::EventQueue& queue,
+                                   const Topology& topo)
+    : queue_(&queue),
+      topo_(&topo),
+      routing_(topo),
+      sinks_(topo.node_count(), nullptr),
+      drop_policy_(std::make_shared<NoDrop>()) {}
+
+void MulticastNetwork::attach(NodeId n, PacketSink* sink) {
+  if (sinks_.at(n) != nullptr) {
+    throw std::logic_error("MulticastNetwork::attach: node already attached");
+  }
+  if (sink == nullptr) {
+    throw std::invalid_argument("MulticastNetwork::attach: null sink");
+  }
+  sinks_[n] = sink;
+}
+
+void MulticastNetwork::detach(NodeId n) { sinks_.at(n) = nullptr; }
+
+void MulticastNetwork::join(GroupId g, NodeId n) {
+  if (n >= topo_->node_count()) {
+    throw std::out_of_range("MulticastNetwork::join: bad node");
+  }
+  if (groups_[g].insert(n).second) ++membership_version_;
+}
+
+void MulticastNetwork::leave(GroupId g, NodeId n) {
+  auto it = groups_.find(g);
+  if (it != groups_.end() && it->second.erase(n) > 0) ++membership_version_;
+}
+
+bool MulticastNetwork::is_member(GroupId g, NodeId n) const {
+  const auto it = groups_.find(g);
+  return it != groups_.end() && it->second.count(n) > 0;
+}
+
+std::vector<NodeId> MulticastNetwork::members(GroupId g) const {
+  std::vector<NodeId> out;
+  const auto it = groups_.find(g);
+  if (it != groups_.end()) {
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+void MulticastNetwork::set_drop_policy(std::shared_ptr<DropPolicy> policy) {
+  drop_policy_ = policy ? std::move(policy) : std::make_shared<NoDrop>();
+}
+
+const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
+                                                             GroupId group) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(root) << 32) | static_cast<std::uint64_t>(group);
+  PrunedTree& entry = pruned_cache_[key];
+  if (entry.membership_version == membership_version_) return entry;
+
+  const Spt& t = routing_.spt(root);
+  entry.membership_version = membership_version_;
+  entry.need.assign(topo_->node_count(), false);
+  const auto it = groups_.find(group);
+  if (it != groups_.end()) {
+    for (NodeId m : it->second) {
+      // Mark the path from the member back to the root; stop early when we
+      // reach an already-marked node (shared prefix).
+      NodeId v = m;
+      while (!entry.need[v]) {
+        entry.need[v] = true;
+        if (v == root) break;
+        if (t.parent[v] == kInvalidNode) break;  // unreachable member
+        v = t.parent[v];
+      }
+    }
+  }
+  return entry;
+}
+
+bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
+                                   const LinkEnd& edge, NodeId from) {
+  // Mbone forwarding rule: a packet is forwarded on a link only if its TTL
+  // is at least the link's threshold (Sec. VII-B.3).
+  if (ttl_at_from < 1 || ttl_at_from < edge.threshold) {
+    ++stats_.ttl_prunes;
+    return false;
+  }
+  // Administrative scoping confines the packet to the sender's region.
+  if (packet.scope == Scope::kAdmin &&
+      topo_->admin_region(edge.peer) != topo_->admin_region(packet.source)) {
+    ++stats_.ttl_prunes;
+    return false;
+  }
+  if (drop_policy_->should_drop(packet,
+                                HopContext{edge.link, from, edge.peer})) {
+    ++stats_.drops;
+    return false;
+  }
+  ++stats_.link_transmissions;
+  return true;
+}
+
+void MulticastNetwork::deliver(const Packet& packet, NodeId to, double delay,
+                               int hops_taken) {
+  PacketSink* sink = sinks_.at(to);
+  if (sink == nullptr) return;
+  DeliveryInfo info;
+  info.receiver = to;
+  info.path_delay = delay;
+  info.hops = hops_taken;
+  info.remaining_ttl = packet.ttl - hops_taken;
+  ++stats_.deliveries;
+  queue_->schedule_after(delay, [this, packet, info, sink] {
+    sink->on_receive(packet, info);
+    if (delivery_observer_) delivery_observer_(packet, info);
+  });
+}
+
+void MulticastNetwork::multicast(NodeId from, Packet packet) {
+  if (from >= topo_->node_count()) {
+    throw std::out_of_range("MulticastNetwork::multicast: bad sender");
+  }
+  packet.source = from;
+  ++stats_.multicasts_sent;
+  if (send_observer_) send_observer_(from, packet);
+
+  const Spt& t = routing_.spt(from);
+  const PrunedTree& tree = pruned(from, packet.group);
+
+  // Iterative DFS over the member-pruned shortest-path tree.  Each directed
+  // link is traversed (and the drop policy consulted) at most once.
+  struct Frame {
+    NodeId node;
+    int ttl;
+    double delay;
+    int hops;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{from, packet.ttl, 0.0, 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node != from && is_member(packet.group, f.node)) {
+      deliver(packet, f.node, f.delay, f.hops);
+    }
+    for (NodeId child : t.children[f.node]) {
+      if (!tree.need.empty() && !tree.need[child]) continue;
+      LinkEnd edge{};
+      edge.peer = child;
+      edge.link = t.parent_link[child];
+      edge.delay = topo_->link(edge.link).delay;
+      edge.threshold = topo_->link(edge.link).threshold;
+      if (!hop_allowed(packet, f.ttl, edge, f.node)) continue;
+      stack.push_back(
+          Frame{child, f.ttl - 1, f.delay + edge.delay, f.hops + 1});
+    }
+  }
+}
+
+void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
+  packet.source = from;
+  ++stats_.unicasts_sent;
+  if (send_observer_) send_observer_(from, packet);
+
+  const std::vector<NodeId> p = routing_.path(from, to);
+  double delay = 0.0;
+  int ttl = packet.ttl;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const LinkId lid = topo_->link_between(p[i], p[i + 1]);
+    const Link& l = topo_->link(lid);
+    LinkEnd edge{p[i + 1], lid, l.delay, l.threshold};
+    if (!hop_allowed(packet, ttl, edge, p[i])) return;  // dropped en route
+    delay += l.delay;
+    --ttl;
+  }
+  deliver(packet, to, delay, static_cast<int>(p.size()) - 1);
+}
+
+}  // namespace srm::net

@@ -1,0 +1,118 @@
+// Simulated IP multicast network.
+//
+// Implements the IP multicast group-delivery model the paper builds on
+// (Sec. I): senders transmit to a group address with no knowledge of the
+// membership; receivers join/leave independently.  Delivery follows the
+// source-rooted shortest-path tree, pruned to subtrees containing members
+// (DVMRP-style), with per-hop TTL decrement, Mbone TTL thresholds, optional
+// administrative scoping, and loss injected by a DropPolicy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/drop_policy.h"
+#include "net/packet.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+
+namespace srm::net {
+
+struct NetworkStats {
+  std::uint64_t multicasts_sent = 0;      // transmissions initiated
+  std::uint64_t unicasts_sent = 0;
+  std::uint64_t link_transmissions = 0;   // directed link traversals
+  std::uint64_t deliveries = 0;           // packets handed to sinks
+  std::uint64_t drops = 0;                // hops suppressed by DropPolicy
+  std::uint64_t ttl_prunes = 0;           // hops suppressed by TTL/threshold
+};
+
+class MulticastNetwork {
+ public:
+  MulticastNetwork(sim::EventQueue& queue, const Topology& topo);
+
+  // Registers the protocol agent living at node n.  At most one sink per
+  // node; the sink must outlive the network or be detached first.
+  void attach(NodeId n, PacketSink* sink);
+  void detach(NodeId n);
+
+  void join(GroupId g, NodeId n);
+  void leave(GroupId g, NodeId n);
+  bool is_member(GroupId g, NodeId n) const;
+  // Members in deterministic (ascending NodeId) order.
+  std::vector<NodeId> members(GroupId g) const;
+
+  // Loss injection; pass nullptr to clear.  Not owned exclusively: callers
+  // usually keep a reference to rearm scripted drops between rounds.
+  void set_drop_policy(std::shared_ptr<DropPolicy> policy);
+
+  // Sends to all members of packet.group other than the sender itself.
+  // packet.source is overwritten with `from`.
+  void multicast(NodeId from, Packet packet);
+
+  // Point-to-point delivery along the shortest path (used by baselines such
+  // as unicast NACK schemes); subject to the same drop policy per hop.
+  void unicast(NodeId from, NodeId to, Packet packet);
+
+  // One-way path delay / hop count oracle (ground truth; SRM agents normally
+  // use session-message estimates instead).
+  double distance(NodeId from, NodeId to) { return routing_.distance(from, to); }
+  int hops(NodeId from, NodeId to) { return routing_.hop_count(from, to); }
+
+  Routing& routing() { return routing_; }
+  const Topology& topology() const { return *topo_; }
+  sim::EventQueue& queue() { return *queue_; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  // Optional observer invoked for every delivered packet (after the sink);
+  // used by the experiment harness to collect per-round message counts.
+  using DeliveryObserver =
+      std::function<void(const Packet&, const DeliveryInfo&)>;
+  void set_delivery_observer(DeliveryObserver obs) {
+    delivery_observer_ = std::move(obs);
+  }
+  // Optional observer invoked for every transmission initiated (multicast or
+  // unicast), before any propagation.
+  using SendObserver = std::function<void(NodeId from, const Packet&)>;
+  void set_send_observer(SendObserver obs) { send_observer_ = std::move(obs); }
+
+  // Current observers, so instrumentation (e.g. the conformance checker)
+  // can chain rather than replace.
+  const DeliveryObserver& delivery_observer() const {
+    return delivery_observer_;
+  }
+  const SendObserver& send_observer() const { return send_observer_; }
+
+ private:
+  struct PrunedTree {
+    std::uint64_t membership_version = 0;
+    // need[n]: node n lies on a path from the root to some group member.
+    std::vector<bool> need;
+  };
+
+  const PrunedTree& pruned(NodeId root, GroupId group);
+  void deliver(const Packet& packet, NodeId to, double delay, int hops_taken);
+  bool hop_allowed(const Packet& packet, int ttl_at_from,
+                   const LinkEnd& edge, NodeId from);
+
+  sim::EventQueue* queue_;
+  const Topology* topo_;
+  Routing routing_;
+  std::vector<PacketSink*> sinks_;
+  std::unordered_map<GroupId, std::unordered_set<NodeId>> groups_;
+  std::uint64_t membership_version_ = 1;
+  std::unordered_map<std::uint64_t, PrunedTree> pruned_cache_;
+  std::shared_ptr<DropPolicy> drop_policy_;
+  NetworkStats stats_;
+  DeliveryObserver delivery_observer_;
+  SendObserver send_observer_;
+};
+
+}  // namespace srm::net

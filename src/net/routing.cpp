@@ -1,0 +1,101 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace srm::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const Spt& Routing::spt(NodeId src) {
+  auto it = cache_.find(src);
+  if (it == cache_.end()) {
+    it = cache_.emplace(src, compute(src)).first;
+  }
+  return it->second;
+}
+
+Spt Routing::compute(NodeId src) const {
+  const std::size_t n = topo_->node_count();
+  if (src >= n) throw std::out_of_range("Routing::compute: bad source");
+
+  Spt t;
+  t.root = src;
+  t.dist.assign(n, kInf);
+  t.hops.assign(n, -1);
+  t.parent.assign(n, kInvalidNode);
+  t.parent_link.assign(n, 0);
+  t.children.assign(n, {});
+
+  // Dijkstra with (dist, hops, node) keys: ties on distance are broken by
+  // fewer hops then lower node id, giving a deterministic tree.
+  using Key = std::tuple<double, int, NodeId>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> pq;
+  t.dist[src] = 0.0;
+  t.hops[src] = 0;
+  t.parent[src] = src;
+  pq.emplace(0.0, 0, src);
+
+  std::vector<bool> done(n, false);
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (const LinkEnd& e : topo_->neighbors(u)) {
+      const double nd = d + e.delay;
+      const int nh = h + 1;
+      const bool better =
+          nd < t.dist[e.peer] ||
+          (nd == t.dist[e.peer] &&
+           (nh < t.hops[e.peer] ||
+            (nh == t.hops[e.peer] && u < t.parent[e.peer])));
+      if (!done[e.peer] && better) {
+        t.dist[e.peer] = nd;
+        t.hops[e.peer] = nh;
+        t.parent[e.peer] = u;
+        t.parent_link[e.peer] = e.link;
+        pq.emplace(nd, nh, e.peer);
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != src && t.parent[v] != kInvalidNode) {
+      t.children[t.parent[v]].push_back(v);
+    }
+  }
+  return t;
+}
+
+double Routing::distance(NodeId from, NodeId to) {
+  const double d = spt(from).dist.at(to);
+  if (d == kInf) throw std::runtime_error("Routing::distance: unreachable");
+  return d;
+}
+
+int Routing::hop_count(NodeId from, NodeId to) {
+  const int h = spt(from).hops.at(to);
+  if (h < 0) throw std::runtime_error("Routing::hop_count: unreachable");
+  return h;
+}
+
+std::vector<NodeId> Routing::path(NodeId from, NodeId to) {
+  const Spt& t = spt(from);
+  if (t.parent.at(to) == kInvalidNode) {
+    throw std::runtime_error("Routing::path: unreachable");
+  }
+  std::vector<NodeId> rev;
+  for (NodeId v = to; v != from; v = t.parent[v]) rev.push_back(v);
+  rev.push_back(from);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+void Routing::invalidate() { cache_.clear(); }
+
+}  // namespace srm::net

@@ -1,0 +1,55 @@
+// Shortest-path routing.
+//
+// The paper assumes "messages are multicast to members of the multicast
+// group along a shortest-path tree from the source of the message"
+// (Sec. V).  Routing computes, per source, a Dijkstra shortest-path tree
+// over the full topology; trees are cached because loss-recovery rounds
+// repeatedly multicast from the same handful of sources.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace srm::net {
+
+// A shortest-path tree rooted at `root`.
+struct Spt {
+  NodeId root = kInvalidNode;
+  std::vector<double> dist;     // dist[n]: path delay root -> n (seconds)
+  std::vector<int> hops;        // hops[n]: hop count root -> n
+  std::vector<NodeId> parent;   // parent[n] on path to root; root's is self
+  std::vector<LinkId> parent_link;            // link to parent
+  std::vector<std::vector<NodeId>> children;  // downstream neighbors
+};
+
+class Routing {
+ public:
+  explicit Routing(const Topology& topo) : topo_(&topo) {}
+
+  // Shortest-path tree rooted at src (computed on first use, then cached).
+  // Ties are broken deterministically toward the lower node id so repeated
+  // runs are reproducible.
+  const Spt& spt(NodeId src);
+
+  // Path delay / hop count between two nodes (via the SPT of `from`).
+  double distance(NodeId from, NodeId to);
+  int hop_count(NodeId from, NodeId to);
+
+  // Ordered node path from `from` to `to` (inclusive of both endpoints).
+  std::vector<NodeId> path(NodeId from, NodeId to);
+
+  // Drops all cached trees (topology changed).
+  void invalidate();
+
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  Spt compute(NodeId src) const;
+
+  const Topology* topo_;
+  std::unordered_map<NodeId, Spt> cache_;
+};
+
+}  // namespace srm::net

@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace srm::sim {
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty function");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{t, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle EventQueue::schedule_after(Time dt, std::function<void()> fn) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool EventQueue::pop_and_run_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is copied out, then popped.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    now_ = ev.when;
+    ev.state->fired = true;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run() {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!stopped_ && pop_and_run_one()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(Time t_end) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= t_end) {
+    if (pop_and_run_one()) ++executed;
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+std::size_t EventQueue::run_steps(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!stopped_ && executed < max_events && pop_and_run_one()) ++executed;
+  return executed;
+}
+
+void EventQueue::reset() {
+  while (!queue_.empty()) queue_.pop();
+  now_ = 0.0;
+  next_seq_ = 0;
+  stopped_ = false;
+}
+
+}  // namespace srm::sim

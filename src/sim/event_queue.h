@@ -1,0 +1,99 @@
+// Discrete-event simulation kernel.
+//
+// The simulator advances a virtual clock from event to event; there is no
+// relation to wall-clock time.  Time is measured in seconds of simulated
+// time; the paper normalizes link delays to 1 "unit", which we represent as
+// 1.0 second unless a scenario specifies otherwise.
+//
+// Events are closures scheduled at absolute times.  Scheduling returns an
+// EventHandle that can cancel the event (used for SRM's suppressible
+// request/repair timers).  Events at equal times fire in scheduling order
+// (FIFO tie-break), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace srm::sim {
+
+using Time = double;  // seconds of virtual time
+
+// Handle to a scheduled event.  Default-constructed handles are inert.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+  // Cancels the event if still pending; returns true if it was pending.
+  bool cancel();
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules fn at absolute virtual time t (must be >= now()).
+  EventHandle schedule_at(Time t, std::function<void()> fn);
+  // Schedules fn after dt seconds of virtual time (dt >= 0).
+  EventHandle schedule_after(Time dt, std::function<void()> fn);
+
+  // Runs events until the queue is empty or stop() is called.
+  // Returns the number of events executed.
+  std::size_t run();
+  // Runs events with timestamp <= t_end, then sets now() to t_end.
+  std::size_t run_until(Time t_end);
+  // Runs at most max_events events.
+  std::size_t run_steps(std::size_t max_events);
+
+  // Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Clears all pending events (they are treated as cancelled) and resets the
+  // clock to zero.  Used between independent simulation rounds.
+  void reset();
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_one();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace srm::sim

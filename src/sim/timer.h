@@ -1,0 +1,75 @@
+// A restartable one-shot timer bound to an EventQueue.
+//
+// SRM's request and repair timers are set, suppressed (cancelled), backed
+// off (rescheduled), and re-armed many times per loss-recovery round; Timer
+// wraps that lifecycle so protocol code never juggles raw EventHandles.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.h"
+
+namespace srm::sim {
+
+class Timer {
+ public:
+  // The callback runs on expiry.  The Timer must outlive any pending expiry;
+  // owners cancel in their destructor (Timer's own destructor also cancels).
+  Timer(EventQueue& queue, std::function<void()> on_expire)
+      : queue_(&queue), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  // (Re)schedules the timer to fire dt seconds from now.  Any pending expiry
+  // is cancelled first.
+  void schedule_in(Time dt) {
+    cancel();
+    expiry_ = queue_->now() + dt;
+    // The callback is copied into the event, so the Timer itself may be
+    // destroyed from inside the callback (e.g. a protocol state machine
+    // erasing its own state on final expiry).
+    handle_ = queue_->schedule_at(expiry_, on_expire_);
+  }
+
+  void cancel() { handle_.cancel(); }
+
+  bool pending() const { return handle_.pending(); }
+
+  // Absolute virtual time of the pending expiry; meaningful only if
+  // pending() is true (otherwise it is the last scheduled expiry).
+  Time expiry_time() const { return expiry_; }
+
+  // Time remaining until expiry; 0 if not pending.
+  Time remaining() const {
+    return pending() ? expiry_ - queue_->now() : 0.0;
+  }
+
+ private:
+  EventQueue* queue_;
+  std::function<void()> on_expire_;
+  EventHandle handle_;
+  Time expiry_ = 0.0;
+};
+
+// A per-host virtual clock with a constant offset from simulation time.
+// SRM's session-message distance estimation (Sec. III-A) must work without
+// synchronized clocks; giving each host a distinct offset exercises that.
+class LocalClock {
+ public:
+  LocalClock(const EventQueue& queue, Time offset)
+      : queue_(&queue), offset_(offset) {}
+
+  // The host's reading of "now": simulation time plus this host's skew.
+  Time now() const { return queue_->now() + offset_; }
+  Time offset() const { return offset_; }
+
+ private:
+  const EventQueue* queue_;
+  Time offset_;
+};
+
+}  // namespace srm::sim

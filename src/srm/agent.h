@@ -1,0 +1,368 @@
+// SrmAgent: one session member's instantiation of the SRM framework
+// (Sec. III).  Composes loss detection, the request/repair timer state
+// machines with suppression and backoff, session messaging with distance
+// estimation, adaptive timer tuning, local recovery scoping, and the
+// token-bucket send policy, on top of the simulated IP multicast network.
+//
+// The agent is deliberately application-agnostic (the ALF framework): the
+// application supplies payload bytes, a page structure over the namespace,
+// send priorities, and receives delivery callbacks.  src/wb builds the
+// whiteboard on this API.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+#include "sim/timer.h"
+#include "srm/adaptive.h"
+#include "srm/config.h"
+#include "srm/messages.h"
+#include "srm/metrics.h"
+#include "srm/names.h"
+#include "srm/rate_limiter.h"
+#include "srm/session.h"
+#include "util/rng.h"
+
+namespace srm {
+
+// Maps persistent application-level Source-IDs to the network nodes the
+// members currently run on.  In a real deployment this indirection is why
+// Source-IDs survive re-joins from different hosts; in the simulator it also
+// lets agents ask the routing oracle for distances when configured to.
+class MemberDirectory {
+ public:
+  void bind(SourceId id, net::NodeId node);
+  void unbind(SourceId id);
+  net::NodeId node_of(SourceId id) const;        // throws if unknown
+  std::optional<SourceId> source_at(net::NodeId node) const;
+  std::vector<SourceId> members() const;
+
+ private:
+  std::unordered_map<SourceId, net::NodeId> to_node_;
+  std::unordered_map<net::NodeId, SourceId> to_source_;
+};
+
+class SrmAgent : public net::PacketSink {
+ public:
+  // Callbacks into the application.
+  struct AppHooks {
+    // Invoked on every newly delivered ADU (original or via repair).
+    std::function<void(const DataName&, const Payload&, bool via_repair)>
+        on_data;
+    // Invoked when loss recovery for an ADU is abandoned (only after
+    // max_request_backoffs; should not happen in healthy sessions).
+    std::function<void(const DataName&)> on_recovery_abandoned;
+    // Invoked when a loss is first detected (before the request timer is
+    // set).  Extensions use this to track loss neighborhoods (Sec. VII-B).
+    std::function<void(const DataName&)> on_loss_detected;
+    // Invoked for packets whose payload is not an SRM message type, letting
+    // extensions (e.g. local-recovery group invitations) define their own
+    // message types without changes to the agent.
+    std::function<void(const net::Packet&, const net::DeliveryInfo&)>
+        on_unknown_message;
+    // Invoked for every session message received (after the agent's own
+    // processing).  Used by the hierarchical session-message extension to
+    // learn which peers are "local" (Sec. IX-A).
+    std::function<void(const SessionMessage&, const net::DeliveryInfo&)>
+        on_session_message;
+    // Invoked when a page-list reply arrives (response to
+    // request_page_state(nullopt)); reports every page the replier knew.
+    std::function<void(const std::vector<PageId>&)> on_page_list;
+  };
+
+  SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
+           net::NodeId node, SourceId id, net::GroupId group,
+           const SrmConfig& config, util::Rng rng);
+  ~SrmAgent() override;
+
+  SrmAgent(const SrmAgent&) = delete;
+  SrmAgent& operator=(const SrmAgent&) = delete;
+
+  // Joins the multicast group, binds the directory entry, and (if enabled)
+  // starts the session-message schedule.
+  void start();
+  // Leaves the group and cancels all timers (a member departing; SRM does
+  // not distinguish this from a partition, Sec. III-D).
+  void stop();
+
+  // --- application-facing API ---------------------------------------------
+
+  // Multicasts a new ADU on `page` with the next sequence number; returns
+  // its name.  The data is retained for answering future repair requests.
+  DataName send_data(const PageId& page, Payload payload);
+
+  // The page this member is "currently viewing"; session messages report
+  // state for this page only (Sec. III-A), and the send queue gives repairs
+  // for it priority over old pages.
+  void set_current_page(const PageId& page) { current_page_ = page; }
+  const PageId& current_page() const { return current_page_; }
+
+  void set_app_hooks(AppHooks hooks) { hooks_ = std::move(hooks); }
+  // Current hooks; extensions capture these to chain rather than replace.
+  const AppHooks& app_hooks() const { return hooks_; }
+
+  bool has_data(const DataName& name) const;
+  const Payload* find_data(const DataName& name) const;
+
+  // Installs an ADU into the local store without transmitting or triggering
+  // loss detection.  Used by simulation setup to model state acquired before
+  // the simulated window (and by tests).  Seeded sequence numbers must be
+  // contiguous from 0 per stream or the gap will be requested.
+  void seed_data(const DataName& name, Payload payload);
+
+  // Supplies an ADU recovered out-of-band (e.g. reconstructed from a parity
+  // packet, see srm/parity.h): cancels any pending repair request for it,
+  // stores it so this member can answer others' requests, and delivers it
+  // to the application.  Counted as a recovery when a request was pending.
+  void supply_data(const DataName& name, Payload payload);
+
+  // Highest sequence number known to exist on a stream (from data, repairs,
+  // requests or session messages); nullopt if the stream is unknown.
+  std::optional<SeqNo> advertised_max(const StreamKey& stream) const;
+
+  // --- distances ----------------------------------------------------------
+
+  // One-way distance estimate to another member, per the configured
+  // DistanceMode.  Falls back to config.default_distance when estimating
+  // and the peer has not completed a session-message exchange.
+  double distance_to(SourceId peer) const;
+  const DistanceEstimator& estimator() const { return estimator_; }
+
+  // --- scoping (local recovery, Sec. VII-B) --------------------------------
+
+  // Policy deciding the TTL of requests this agent originates.  Default:
+  // global scope (kMaxTtl).  The experiment harness installs loss-
+  // neighborhood-aware policies here.
+  using TtlPolicy = std::function<int(const DataName&)>;
+  void set_request_ttl_policy(TtlPolicy policy) {
+    request_ttl_policy_ = std::move(policy);
+  }
+  // When set, requests/repairs are sent admin-scoped (Sec. VII-B.1).
+  void set_use_admin_scope(bool on) { use_admin_scope_ = on; }
+
+  // Policy deciding which multicast group a request for `name` is sent to
+  // (default: the session group).  Local recovery via separate multicast
+  // groups (Sec. VII-B.2) routes requests for a loss neighborhood to a
+  // dedicated recovery group; repairs always answer on the group the
+  // request arrived on.
+  using GroupPolicy = std::function<net::GroupId(const DataName&)>;
+  void set_request_group_policy(GroupPolicy policy) {
+    request_group_policy_ = std::move(policy);
+  }
+
+  // Joins/leaves an additional multicast group (e.g. a recovery group).
+  // Packets for any joined group are dispatched through this agent.
+  void join_extra_group(net::GroupId g);
+  void leave_extra_group(net::GroupId g);
+
+  // Sends an application-defined message to an arbitrary group this member
+  // belongs to (delivered to others via AppHooks::on_unknown_message).
+  void send_app_message(net::GroupId g, net::MessagePtr message,
+                        int ttl = net::kMaxTtl);
+
+  // --- introspection -------------------------------------------------------
+
+  SourceId id() const { return id_; }
+  net::NodeId node() const { return node_; }
+  net::GroupId group() const { return group_; }
+  sim::EventQueue& queue() { return network_->queue(); }
+  const sim::EventQueue& queue() const { return network_->queue(); }
+  const SrmConfig& config() const { return config_; }
+  AgentMetrics& metrics() { return metrics_; }
+  const AgentMetrics& metrics() const { return metrics_; }
+
+  // Current (possibly adapted) timer parameters.
+  double c1() const { return request_tuner_.start(); }
+  double c2() const { return request_tuner_.width(); }
+  double d1() const { return repair_tuner_.start(); }
+  double d2() const { return repair_tuner_.width(); }
+  const AdaptiveTuner& request_tuner() const { return request_tuner_; }
+  const AdaptiveTuner& repair_tuner() const { return repair_tuner_; }
+
+  // True while a request timer is pending for `name`.
+  bool request_pending(const DataName& name) const;
+  bool repair_pending(const DataName& name) const;
+
+  // Forces a session message out immediately (tests / warm-up / the
+  // hierarchical extension).  `ttl` limits its scope; by default it reaches
+  // the whole group.
+  void send_session_message(int ttl = net::kMaxTtl);
+
+  // Page-state recovery (Sec. III-A).  With a page id, asks the group for
+  // that page's sequence-number state (the reply reveals the page's streams
+  // and triggers normal data recovery for anything missing).  With nullopt,
+  // asks for the list of pages members know about (late-join browsing);
+  // replies arrive via AppHooks::on_page_list and known_pages().
+  void request_page_state(std::optional<PageId> page);
+
+  // Pages this member has seen any evidence of (data, requests, session
+  // reports or page replies).
+  std::vector<PageId> known_pages() const;
+
+  // net::PacketSink:
+  void on_receive(const net::Packet& packet,
+                  const net::DeliveryInfo& info) override;
+
+ private:
+  // ---- per-stream reception state ----
+  struct StreamState {
+    SeqNo advertised_max = 0;   // highest seq known to exist
+    bool any_known = false;     // false until first evidence of the stream
+    std::unordered_map<SeqNo, bool> received;  // set of seqs in the store
+  };
+
+  // ---- request (loss recovery) state, one per missing ADU ----
+  struct RequestState {
+    std::unique_ptr<sim::Timer> timer;
+    double dist = 1.0;             // d_S at detection time
+    int backoffs = 0;              // backoff iteration i
+    sim::Time detect_time = 0.0;   // when the loss was detected
+    sim::Time timer_set_time = 0.0;
+    sim::Time ignore_backoff_until = 0.0;
+    bool we_sent_request = false;
+    bool delay_recorded = false;   // req_delay recorded once per loss
+    int our_request_ttl = net::kMaxTtl;  // TTL used on our own request
+  };
+
+  // ---- repair (response) state, one per ADU we owe an answer for ----
+  struct RepairState {
+    std::unique_ptr<sim::Timer> timer;
+    double dist = 1.0;              // d_A to the requestor
+    // rep_delay is normalized by the RTT to the original source of the
+    // data (Sec. VII-A), which keeps the delay signal meaningful even for
+    // holders far from the requestor.
+    double dist_to_source = 1.0;
+    SourceId requestor = kInvalidSource;
+    int request_ttl = net::kMaxTtl;   // initial TTL of the request
+    int request_hops = 0;             // hops the request traveled to us
+    net::Scope request_scope = net::Scope::kGlobal;  // repair reuses it
+    net::GroupId request_group = 0;   // repair answers on this group
+    sim::Time timer_set_time = 0.0;
+    bool delay_recorded = false;
+    sim::Time holddown_until = 0.0;   // ignore requests until then
+  };
+
+  // ---- adaptive-algorithm period accounting (Sec. VII-A) ----
+  struct Period {
+    DataName name;
+    std::size_t observed = 0;   // requests (repairs) seen, incl. our own
+    bool we_sent = false;
+  };
+
+  // message handlers
+  void handle_data(const DataName& name, const PayloadPtr& payload,
+                   bool via_repair);
+  void handle_request(const RequestMessage& msg, const net::Packet& packet,
+                      const net::DeliveryInfo& info);
+  void handle_repair(const RepairMessage& msg, const net::Packet& packet,
+                     const net::DeliveryInfo& info);
+  void handle_session(const SessionMessage& msg);
+  void handle_page_request(const PageRequestMessage& msg);
+  void handle_page_reply(const PageReplyMessage& msg);
+
+  // loss recovery internals
+  void note_stream_advance(const StreamKey& stream, SeqNo seen_seq);
+  void detect_loss(const DataName& name, bool via_request);
+  void schedule_request_timer(RequestState& state, const DataName& name);
+  void on_request_timer_expired(const DataName& name);
+  void backoff_request(const DataName& name, RequestState& state);
+  void complete_recovery(const DataName& name, const PayloadPtr& payload);
+
+  // repair internals
+  void maybe_schedule_repair(const DataName& name, const RequestMessage& msg,
+                             const net::DeliveryInfo& info,
+                             const net::Packet& packet);
+  void on_repair_timer_expired(const DataName& name);
+  double holddown_distance(const DataName& name, SourceId requestor) const;
+
+  // period bookkeeping
+  void open_request_period(const DataName& name);
+  void note_request_observed(const DataName& name, bool ours);
+  void open_repair_period(const DataName& name);
+  void note_repair_observed(const DataName& name, bool ours);
+
+  // transmit paths (respect the rate limiter and priorities)
+  enum class Priority { kCurrentPageRecovery, kNewData, kOldPageRecovery };
+  void transmit(net::Packet packet, Priority priority);
+  void drain_send_queue();
+  Priority recovery_priority(const DataName& name) const;
+
+  SessionMessage::StateReport build_state_report() const;
+  SessionMessage::StateReport page_state(const PageId& page) const;
+  void schedule_next_session_message();
+
+  // core wiring
+  net::MulticastNetwork* network_;
+  MemberDirectory* directory_;
+  net::NodeId node_;
+  SourceId id_;
+  net::GroupId group_;
+  SrmConfig config_;
+  util::Rng rng_;
+  sim::LocalClock clock_;
+
+  // protocol state
+  std::unordered_map<DataName, PayloadPtr> store_;
+  std::unordered_map<StreamKey, StreamState> streams_;
+  std::unordered_map<PageId, SeqNo> next_seq_;
+  std::unordered_map<DataName, RequestState> requests_;
+  std::unordered_map<DataName, RepairState> repairs_;
+  // ADUs whose recovery was abandoned; cleared if the data later arrives.
+  std::unordered_set<DataName> abandoned_;
+  // ADUs whose two-step local repair we already re-multicast (step two
+  // happens at most once per ADU).
+  std::unordered_set<DataName> step_two_sent_;
+  std::optional<Period> request_period_;
+  std::optional<Period> repair_period_;
+  PageId current_page_;
+
+  // ---- page-state recovery (Sec. III-A) ----
+  // Pending reply timers, keyed by the requested page; the list request
+  // uses the sentinel PageId{kInvalidSource, 0}.
+  struct PageReplyState {
+    std::unique_ptr<sim::Timer> timer;
+    SourceId requestor = kInvalidSource;
+  };
+  static constexpr PageId kPageListKey{kInvalidSource, 0};
+  std::unordered_map<PageId, PageReplyState> page_replies_;
+  std::set<PageId> known_pages_;
+  void note_page(const PageId& page) { known_pages_.insert(page); }
+  void on_page_reply_timer(const PageId& key);
+
+  // services
+  DistanceEstimator estimator_;
+  SessionScheduler session_scheduler_;
+  AdaptiveTuner request_tuner_;
+  AdaptiveTuner repair_tuner_;
+  RateLimiter rate_limiter_;
+  std::unique_ptr<sim::Timer> session_timer_;
+  std::unique_ptr<sim::Timer> send_queue_timer_;
+
+  struct QueuedSend {
+    net::Packet packet;
+    Priority priority;
+    std::uint64_t seq;  // FIFO within a priority band
+  };
+  std::deque<QueuedSend> send_queue_;
+  std::uint64_t send_seq_ = 0;
+
+  TtlPolicy request_ttl_policy_;
+  GroupPolicy request_group_policy_;
+  std::unordered_set<net::GroupId> extra_groups_;
+  bool use_admin_scope_ = false;
+  bool started_ = false;
+
+  AppHooks hooks_;
+  AgentMetrics metrics_;
+};
+
+}  // namespace srm

@@ -1,0 +1,14 @@
+#include "srm/names.h"
+
+namespace srm {
+
+std::string to_string(const PageId& p) {
+  return std::to_string(p.creator) + "/p" + std::to_string(p.number);
+}
+
+std::string to_string(const DataName& n) {
+  return std::to_string(n.source) + ":" + to_string(n.page) + ":" +
+         std::to_string(n.seq);
+}
+
+}  // namespace srm

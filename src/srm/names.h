@@ -1,0 +1,85 @@
+// Application Data Unit naming (Sec. II-C / III).
+//
+// SRM assumes all data has a unique, persistent name, independent of the
+// sending host's transport state: a (Source-ID, Page-ID, sequence number)
+// triple.  Source-IDs are persistent across application restarts; pages
+// impose the hierarchy over the namespace that keeps session-message state
+// bounded; sequence numbers are locally unique per (source, page) and have
+// "sufficient precision to never wrap" (64-bit here).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace srm {
+
+// Globally unique, persistent member identifier.
+using SourceId = std::uint32_t;
+inline constexpr SourceId kInvalidSource = 0xFFFFFFFFu;
+
+using SeqNo = std::uint64_t;
+
+// A page is named by its creator plus a creator-local page number, so page
+// creation needs no coordination (Sec. II-C).
+struct PageId {
+  SourceId creator = kInvalidSource;
+  std::uint32_t number = 0;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+  friend auto operator<=>(const PageId&, const PageId&) = default;
+};
+
+// The unique persistent name of one ADU.
+struct DataName {
+  SourceId source = kInvalidSource;  // member that created the data
+  PageId page;
+  SeqNo seq = 0;
+
+  friend bool operator==(const DataName&, const DataName&) = default;
+  friend auto operator<=>(const DataName&, const DataName&) = default;
+};
+
+std::string to_string(const PageId& p);
+std::string to_string(const DataName& n);
+
+// Identifies the per-source, per-page stream a sequence number belongs to.
+struct StreamKey {
+  SourceId source = kInvalidSource;
+  PageId page;
+
+  friend bool operator==(const StreamKey&, const StreamKey&) = default;
+  friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+inline StreamKey stream_of(const DataName& n) {
+  return StreamKey{n.source, n.page};
+}
+
+}  // namespace srm
+
+template <>
+struct std::hash<srm::PageId> {
+  std::size_t operator()(const srm::PageId& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.creator) << 32) | p.number);
+  }
+};
+
+template <>
+struct std::hash<srm::StreamKey> {
+  std::size_t operator()(const srm::StreamKey& k) const noexcept {
+    const std::size_t h1 = std::hash<srm::SourceId>{}(k.source);
+    const std::size_t h2 = std::hash<srm::PageId>{}(k.page);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+template <>
+struct std::hash<srm::DataName> {
+  std::size_t operator()(const srm::DataName& n) const noexcept {
+    const std::size_t h1 = std::hash<srm::StreamKey>{}(srm::stream_of(n));
+    const std::size_t h2 = std::hash<srm::SeqNo>{}(n.seq);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

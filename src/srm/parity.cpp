@@ -1,0 +1,167 @@
+#include "srm/parity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace srm::parity {
+
+namespace {
+
+void put_u32(Payload& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+std::optional<std::uint32_t> get_u32(const Payload& p, std::size_t at) {
+  if (at + 4 > p.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+ParitySession::ParitySession(SrmAgent& agent, std::size_t block_size)
+    : agent_(&agent), k_(block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("ParitySession: block_size == 0");
+  }
+  SrmAgent::AppHooks hooks;
+  hooks.on_data = [this](const DataName& name, const Payload& frame,
+                         bool via_repair) {
+    on_agent_data(name, frame, via_repair);
+  };
+  agent_->set_app_hooks(std::move(hooks));
+}
+
+Payload ParitySession::frame_data(const Payload& app_payload) {
+  Payload frame;
+  frame.reserve(5 + app_payload.size());
+  frame.push_back(kDataTag);
+  put_u32(frame, static_cast<std::uint32_t>(app_payload.size()));
+  frame.insert(frame.end(), app_payload.begin(), app_payload.end());
+  return frame;
+}
+
+std::optional<Payload> ParitySession::unframe_data(const Payload& frame) {
+  if (frame.empty() || frame[0] != kDataTag) return std::nullopt;
+  const auto len = get_u32(frame, 1);
+  if (!len || 5 + *len != frame.size()) return std::nullopt;
+  return Payload(frame.begin() + 5, frame.end());
+}
+
+bool ParitySession::is_parity_frame(const Payload& frame) {
+  return !frame.empty() && frame[0] == kParityTag;
+}
+
+Payload ParitySession::xor_frames(const std::vector<const Payload*>& frames,
+                                  std::size_t length) {
+  Payload out(length, 0);
+  for (const Payload* f : frames) {
+    for (std::size_t i = 0; i < f->size(); ++i) out[i] ^= (*f)[i];
+  }
+  return out;
+}
+
+DataName ParitySession::send(const PageId& page, Payload app_payload) {
+  Payload frame = frame_data(app_payload);
+  std::vector<Payload>& block = outgoing_[page];
+  block.push_back(frame);
+  const DataName name = agent_->send_data(page, std::move(frame));
+
+  if (block.size() == k_) {
+    // Emit the block's parity: XOR of the k data frames padded to the
+    // longest, preceded by the parity tag and that padded length.
+    std::size_t max_len = 0;
+    std::vector<const Payload*> ptrs;
+    ptrs.reserve(k_);
+    for (const Payload& f : block) {
+      max_len = std::max(max_len, f.size());
+      ptrs.push_back(&f);
+    }
+    Payload parity;
+    parity.reserve(5 + max_len);
+    parity.push_back(kParityTag);
+    put_u32(parity, static_cast<std::uint32_t>(max_len));
+    const Payload x = xor_frames(ptrs, max_len);
+    parity.insert(parity.end(), x.begin(), x.end());
+    ++stats_.parity_sent;
+    agent_->send_data(page, std::move(parity));
+    block.clear();
+  }
+  return name;
+}
+
+void ParitySession::on_agent_data(const DataName& name, const Payload& frame,
+                                  bool via_repair) {
+  const std::uint64_t block = name.seq / (k_ + 1);
+  const std::uint64_t pos = name.seq % (k_ + 1);
+
+  // Record the frame in the block reassembly state (own sends do not loop
+  // back through the agent hook, so this is receiver-side only).
+  BlockState& st = blocks_[BlockKey{stream_of(name), block}];
+  if (st.frames.empty()) st.frames.resize(k_ + 1);
+  if (!st.frames[pos]) {
+    st.frames[pos] = frame;
+    ++st.present;
+  }
+
+  // Deliver data frames to the application; parity frames stay internal.
+  if (pos < k_) {
+    const auto app = unframe_data(frame);
+    if (app && handler_) handler_(name, *app, via_repair);
+  }
+
+  try_reconstruct(stream_of(name), block);
+}
+
+void ParitySession::try_reconstruct(const StreamKey& stream,
+                                    std::uint64_t block) {
+  BlockState& st = blocks_[BlockKey{stream, block}];
+  if (st.reconstructed || st.present != k_) return;
+  // Exactly one of the k+1 ADUs is missing; if it is the parity itself
+  // there is nothing to do (SRM will repair it if someone needs it).
+  std::size_t missing = k_ + 1;
+  for (std::size_t i = 0; i <= k_; ++i) {
+    if (!st.frames[i]) {
+      missing = i;
+      break;
+    }
+  }
+  if (missing == k_ + 1 || missing == k_) return;
+  const Payload* parity = st.frames[k_] ? &*st.frames[k_] : nullptr;
+  if (parity == nullptr) return;  // can't reconstruct without the parity
+
+  // XOR parity body with the k-1 present data frames.
+  const auto max_len = get_u32(*parity, 1);
+  if (!max_len || parity->size() != 5 + *max_len) return;  // malformed
+  std::vector<const Payload*> ptrs;
+  Payload parity_body(parity->begin() + 5, parity->end());
+  ptrs.push_back(&parity_body);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (i != missing && st.frames[i]) ptrs.push_back(&*st.frames[i]);
+  }
+  Payload frame = xor_frames(ptrs, *max_len);
+  // Strip the XOR padding: the reconstructed frame is self-describing.
+  const auto len = get_u32(frame, 1);
+  if (frame.empty() || frame[0] != kDataTag || !len || 5 + *len > frame.size()) {
+    ++stats_.unusable_blocks;
+    return;  // corrupt reconstruction; leave it to SRM
+  }
+  frame.resize(5 + *len);
+
+  st.frames[missing] = frame;
+  ++st.present;
+  st.reconstructed = true;
+  ++stats_.reconstructions;
+
+  const DataName missing_name{stream.source, stream.page,
+                              block * (k_ + 1) + missing};
+  // Feeding it back through the agent cancels any pending request, stores
+  // the ADU for answering others, and re-enters on_agent_data to deliver
+  // the application payload.
+  agent_->supply_data(missing_name, std::move(frame));
+}
+
+}  // namespace srm::parity

@@ -1,0 +1,105 @@
+// Parity-based loss repair layered over SRM (the FEC direction Sec. VII-B
+// points to via Nonnenmacher/Biersack/Towsley's parity-based loss recovery).
+//
+// In true ALF fashion this lives entirely *above* the SRM agent: the
+// application's byte stream is framed so that every (k+1)-th ADU of a stream
+// is the XOR parity of the preceding k data ADUs.  A receiver holding any k
+// of a block's k+1 ADUs reconstructs the missing one locally and feeds it
+// back to the agent with supply_data(), which cancels the pending repair
+// request — transient single losses inside a block are repaired with zero
+// control traffic.  Losses the parity cannot cover (two or more ADUs of one
+// block) fall through to SRM's normal request/repair machinery, and parity
+// ADUs themselves are ordinary ADUs that SRM will repair if lost.
+//
+// Block layout on a stream with block size k:
+//   seq b*(k+1) .. b*(k+1)+k-1   data ADUs of block b
+//   seq b*(k+1)+k                parity ADU of block b
+//
+// Frame format (the application payload handed to SrmAgent):
+//   data:   [kDataTag]  [u32 length] [bytes...]
+//   parity: [kParityTag][u32 max-framed-length] [xor of padded data frames]
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "srm/agent.h"
+#include "srm/messages.h"
+#include "srm/names.h"
+
+namespace srm::parity {
+
+inline constexpr std::uint8_t kDataTag = 0xD0;
+inline constexpr std::uint8_t kParityTag = 0xF0;
+
+struct ParityStats {
+  std::uint64_t parity_sent = 0;
+  std::uint64_t reconstructions = 0;   // losses repaired locally
+  std::uint64_t unusable_blocks = 0;   // >=2 ADUs of a block missing
+};
+
+class ParitySession {
+ public:
+  // block_size k >= 1: one parity ADU after every k data ADUs.
+  ParitySession(SrmAgent& agent, std::size_t block_size);
+
+  // Sends one application payload; transparently emits the block's parity
+  // ADU after every k-th send.  Returns the data ADU's name.
+  DataName send(const PageId& page, Payload app_payload);
+
+  // Application-level delivery (unframed payloads, data ADUs only, in any
+  // order).  Installed via the agent's AppHooks by the constructor.
+  using DataHandler =
+      std::function<void(const DataName&, const Payload&, bool via_repair)>;
+  void set_data_handler(DataHandler handler) { handler_ = std::move(handler); }
+
+  std::size_t block_size() const { return k_; }
+  const ParityStats& stats() const { return stats_; }
+
+  // Frame helpers, exposed for tests.
+  static Payload frame_data(const Payload& app_payload);
+  static std::optional<Payload> unframe_data(const Payload& frame);
+  static bool is_parity_frame(const Payload& frame);
+
+ private:
+  struct BlockState {
+    // Framed payloads by position in the block; index k holds the parity.
+    std::vector<std::optional<Payload>> frames;
+    std::size_t present = 0;
+    bool reconstructed = false;
+  };
+
+  void on_agent_data(const DataName& name, const Payload& frame,
+                     bool via_repair);
+  void try_reconstruct(const StreamKey& stream, std::uint64_t block);
+  static Payload xor_frames(const std::vector<const Payload*>& frames,
+                            std::size_t length);
+
+  SrmAgent* agent_;
+  std::size_t k_;
+  DataHandler handler_;
+
+  // Sender side: framed data of the in-progress block per page.
+  std::unordered_map<PageId, std::vector<Payload>> outgoing_;
+
+  // Receiver side: per (stream, block index) reassembly state.
+  struct BlockKey {
+    StreamKey stream;
+    std::uint64_t block;
+    friend bool operator==(const BlockKey&, const BlockKey&) = default;
+  };
+  struct BlockKeyHash {
+    std::size_t operator()(const BlockKey& k) const noexcept {
+      return std::hash<StreamKey>{}(k.stream) ^
+             (std::hash<std::uint64_t>{}(k.block) * 0x9E3779B97F4A7C15ULL);
+    }
+  };
+  std::unordered_map<BlockKey, BlockState, BlockKeyHash> blocks_;
+
+  ParityStats stats_;
+};
+
+}  // namespace srm::parity

@@ -1,0 +1,64 @@
+// Token-bucket rate limiter (Sec. III-E).
+//
+// The wb design enforces a per-session sender bandwidth limit with "a token
+// bucket rate limiter to enforce this peak rate on transmissions".  Tokens
+// are bytes; a send of b bytes is admitted when at least b tokens are
+// available.  The limiter answers *when* the next send of a given size could
+// go out, so the agent's send queue can schedule itself.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/event_queue.h"
+#include "srm/config.h"
+
+namespace srm {
+
+class RateLimiter {
+ public:
+  RateLimiter(const RateLimitConfig& config, sim::Time now)
+      : rate_(config.tokens_per_second),
+        depth_(config.bucket_depth),
+        tokens_(config.bucket_depth),
+        last_refill_(now) {}
+
+  // Attempts to consume `bytes` tokens at virtual time `now`.  A send
+  // larger than the bucket depth is admitted once the bucket is full and
+  // leaves the token count negative, so the deficit paces later sends
+  // (otherwise an oversized packet could never be sent at all).
+  bool try_consume(double bytes, sim::Time now) {
+    refill(now);
+    if (tokens_ < std::min(bytes, depth_)) return false;
+    tokens_ -= bytes;
+    return true;
+  }
+
+  // Seconds until a send of `bytes` could be admitted (0 if admissible now).
+  // Sends larger than the bucket depth are admitted once the bucket fills.
+  sim::Time delay_until_available(double bytes, sim::Time now) {
+    refill(now);
+    const double needed = std::min(bytes, depth_);
+    if (tokens_ >= needed) return 0.0;
+    return (needed - tokens_) / rate_;
+  }
+
+  double tokens(sim::Time now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(sim::Time now) {
+    if (now > last_refill_) {
+      tokens_ = std::min(depth_, tokens_ + rate_ * (now - last_refill_));
+      last_refill_ = now;
+    }
+  }
+
+  double rate_;
+  double depth_;
+  double tokens_;
+  sim::Time last_refill_;
+};
+
+}  // namespace srm

@@ -1,0 +1,59 @@
+#include "srm/session.h"
+
+#include <algorithm>
+
+namespace srm {
+
+void DistanceEstimator::on_session_message(const SessionMessage& msg,
+                                           SourceId self) {
+  const sim::Time t2 = clock_->now();
+  last_heard_[msg.sender()] = PeerRecord{msg.sender_timestamp(), t2};
+
+  const auto echo = msg.echoes().find(self);
+  if (echo != msg.echoes().end()) {
+    // d = (t2 - t1 - delta) / 2.  t1 is in our clock (we stamped it), t2 is
+    // our clock now, delta is the peer's residence time, so clock offsets
+    // cancel and only the peer's hold-time measurement matters.
+    const double rtt = t2 - echo->second.peer_timestamp - echo->second.hold_time;
+    // Guard against transient negatives from pathological hold times.
+    estimates_[msg.sender()] = std::max(0.0, rtt / 2.0);
+  }
+}
+
+std::map<SourceId, SessionMessage::Echo> DistanceEstimator::build_echoes()
+    const {
+  std::map<SourceId, SessionMessage::Echo> echoes;
+  const sim::Time now = clock_->now();
+  for (const auto& [peer, rec] : last_heard_) {
+    echoes[peer] =
+        SessionMessage::Echo{rec.peer_timestamp, now - rec.arrival};
+  }
+  return echoes;
+}
+
+std::optional<double> DistanceEstimator::distance(SourceId peer) const {
+  const auto it = estimates_.find(peer);
+  if (it == estimates_.end()) return std::nullopt;
+  return it->second;
+}
+
+sim::Time SessionScheduler::mean_interval(std::size_t group_size,
+                                          std::size_t message_bytes) const {
+  const double session_bw =
+      config_.bandwidth_fraction * config_.data_bandwidth_bytes;
+  if (session_bw <= 0.0) return config_.min_interval;
+  const double g = static_cast<double>(std::max<std::size_t>(1, group_size));
+  const double interval =
+      g * static_cast<double>(message_bytes) / session_bw;
+  return std::max(config_.min_interval, interval);
+}
+
+sim::Time SessionScheduler::next_interval(std::size_t group_size,
+                                          std::size_t message_bytes) {
+  const sim::Time mean = mean_interval(group_size, message_bytes);
+  const double lo = 1.0 - config_.jitter;
+  const double hi = 1.0 + config_.jitter;
+  return mean * rng_.uniform(lo, hi);
+}
+
+}  // namespace srm

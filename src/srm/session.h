@@ -1,0 +1,85 @@
+// Session messages: distance estimation and reporting-rate control
+// (Sec. III-A).
+//
+// Each member periodically multicasts a session message carrying (a) its
+// reception state (highest sequence number per active stream on the page it
+// is viewing), and (b) timestamps that let every other member estimate its
+// one-way distance to the sender without synchronized clocks, via a
+// "highly simplified version of the NTP time synchronization algorithm":
+//
+//   A sends at A-clock t1.  B receives it and, delta seconds later (B-clock),
+//   sends a session message echoing (t1, delta).  A receives that at A-clock
+//   t2 and estimates  d(A,B) = (t2 - t1 - delta) / 2.
+//
+// The estimate assumes roughly symmetric paths (the paper's assumption).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/timer.h"
+#include "srm/config.h"
+#include "srm/messages.h"
+#include "srm/names.h"
+#include "util/rng.h"
+
+namespace srm {
+
+class DistanceEstimator {
+ public:
+  // `clock` is this member's (possibly skewed) local clock.
+  explicit DistanceEstimator(const sim::LocalClock& clock) : clock_(&clock) {}
+
+  // Records the receipt of a session message from `peer`, and folds in any
+  // echo addressed to us.
+  void on_session_message(const SessionMessage& msg, SourceId self);
+
+  // Echoes to embed in our next outgoing session message: for every peer we
+  // have heard from, (their last timestamp, how long we have held it).
+  std::map<SourceId, SessionMessage::Echo> build_echoes() const;
+
+  // Latest distance estimate to `peer` in seconds, if any exchange has
+  // completed.
+  std::optional<double> distance(SourceId peer) const;
+
+  // Number of peers heard from (session-message based membership estimate).
+  std::size_t peers_heard() const { return last_heard_.size(); }
+
+ private:
+  struct PeerRecord {
+    sim::Time peer_timestamp = 0.0;  // sender clock value in their message
+    sim::Time arrival = 0.0;         // our clock when it arrived
+  };
+
+  const sim::LocalClock* clock_;
+  std::unordered_map<SourceId, PeerRecord> last_heard_;
+  std::unordered_map<SourceId, double> estimates_;
+};
+
+// Schedules session messages at an average rate that scales inversely with
+// the (estimated) group size, so the aggregate session-message bandwidth
+// stays at a fixed small fraction of the data bandwidth regardless of how
+// many members there are (the vat/RTCP algorithm the paper adopts).
+class SessionScheduler {
+ public:
+  SessionScheduler(const SessionConfig& config, util::Rng rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  // Mean interval between this member's session messages given the current
+  // estimate of the group size: with G members sharing fraction f of
+  // bandwidth B, each member reports every  G * avg_msg_bytes / (f * B)
+  // seconds on average, floored at min_interval.
+  sim::Time mean_interval(std::size_t group_size,
+                          std::size_t message_bytes) const;
+
+  // Next randomized interval: uniform in [1-jitter, 1+jitter] x mean.
+  sim::Time next_interval(std::size_t group_size, std::size_t message_bytes);
+
+ private:
+  SessionConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace srm

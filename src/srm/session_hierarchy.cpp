@@ -1,0 +1,74 @@
+#include "srm/session_hierarchy.h"
+
+namespace srm {
+
+SessionHierarchy::SessionHierarchy(SrmAgent& agent, HierarchyConfig config,
+                                   util::Rng rng)
+    : agent_(&agent), config_(config), rng_(std::move(rng)) {
+  previous_hooks_ = agent_->app_hooks();
+  SrmAgent::AppHooks hooks = previous_hooks_;
+  hooks.on_session_message = [this](const SessionMessage& msg,
+                                    const net::DeliveryInfo& info) {
+    on_session(msg, info);
+    if (previous_hooks_.on_session_message) {
+      previous_hooks_.on_session_message(msg, info);
+    }
+  };
+  agent_->set_app_hooks(std::move(hooks));
+  timer_ = std::make_unique<sim::Timer>(agent_->queue(), [this] { tick(); });
+}
+
+SessionHierarchy::~SessionHierarchy() { stop(); }
+
+void SessionHierarchy::start() {
+  if (running_) return;
+  running_ = true;
+  timer_->schedule_in(
+      config_.report_interval * rng_.uniform(0.0, 1.0));  // desynchronize
+}
+
+void SessionHierarchy::stop() {
+  running_ = false;
+  if (timer_) timer_->cancel();
+}
+
+void SessionHierarchy::on_session(const SessionMessage& msg,
+                                  const net::DeliveryInfo& info) {
+  // A message that arrived with hop count within the local radius means the
+  // sender is in our local area, whatever TTL it was sent with.
+  if (info.hops <= config_.local_ttl) {
+    local_heard_[msg.sender()] = agent_->queue().now();
+  }
+}
+
+SourceId SessionHierarchy::representative() const {
+  const sim::Time now = agent_->queue().now();
+  SourceId rep = agent_->id();
+  for (const auto& [peer, heard_at] : local_heard_) {
+    if (now - heard_at <= staleness_horizon() && peer < rep) rep = peer;
+  }
+  return rep;
+}
+
+std::size_t SessionHierarchy::live_local_peers() const {
+  const sim::Time now = agent_->queue().now();
+  std::size_t live = 0;
+  for (const auto& [peer, heard_at] : local_heard_) {
+    if (now - heard_at <= staleness_horizon()) ++live;
+  }
+  return live;
+}
+
+void SessionHierarchy::tick() {
+  if (!running_) return;
+  if (is_representative()) {
+    ++global_sent_;
+    agent_->send_session_message(net::kMaxTtl);
+  } else {
+    ++local_sent_;
+    agent_->send_session_message(config_.local_ttl);
+  }
+  timer_->schedule_in(config_.report_interval * rng_.uniform(0.5, 1.5));
+}
+
+}  // namespace srm

@@ -1,0 +1,80 @@
+// Hierarchical (scalable) session messages — the Sec. IX-A extension.
+//
+// "For larger groups, we are investigating a hierarchical approach for
+// scalable session messages, where members in a local area dynamically
+// select one of the local members to be the representative...  The
+// representatives would each send global session messages, and maintain an
+// estimate of their distance in seconds from each of the other
+// representatives.  All other members would send local session messages
+// with limited scope sufficient to reach their representative."
+//
+// Election is leaderless and deterministic: a member's local area is
+// whatever its TTL-limited session messages reach; among the live local
+// members (itself included) the one with the smallest Source-ID is the
+// representative.  Ties resolve identically everywhere, membership changes
+// re-elect automatically as stale peers age out, and the loss of a
+// representative is healed after one staleness interval.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/timer.h"
+#include "srm/agent.h"
+
+namespace srm {
+
+struct HierarchyConfig {
+  // Scope of local session messages; must reach the representative.
+  int local_ttl = 4;
+  // Mean reporting interval (each send is jittered to +-50%).
+  sim::Time report_interval = 10.0;
+  // A local peer not heard for this many intervals is presumed gone.
+  double staleness_intervals = 3.0;
+};
+
+class SessionHierarchy {
+ public:
+  SessionHierarchy(SrmAgent& agent, HierarchyConfig config, util::Rng rng);
+  ~SessionHierarchy();
+
+  SessionHierarchy(const SessionHierarchy&) = delete;
+  SessionHierarchy& operator=(const SessionHierarchy&) = delete;
+
+  // Begins periodic reporting (global when representative, local-TTL
+  // otherwise).  The agent's own flat session schedule should be disabled
+  // (SessionConfig::enabled = false) when a hierarchy drives reporting.
+  void start();
+  void stop();
+
+  // The member this agent currently believes represents its local area.
+  SourceId representative() const;
+  bool is_representative() const { return representative() == agent_->id(); }
+
+  // Local peers currently considered live (heard recently at local scope).
+  std::size_t live_local_peers() const;
+
+  std::uint64_t global_reports_sent() const { return global_sent_; }
+  std::uint64_t local_reports_sent() const { return local_sent_; }
+
+ private:
+  void tick();
+  void on_session(const SessionMessage& msg, const net::DeliveryInfo& info);
+  sim::Time staleness_horizon() const {
+    return config_.staleness_intervals * config_.report_interval;
+  }
+
+  SrmAgent* agent_;
+  HierarchyConfig config_;
+  util::Rng rng_;
+  SrmAgent::AppHooks previous_hooks_;
+  std::unique_ptr<sim::Timer> timer_;
+
+  // Peers heard within local scope -> last heard time (simulation clock).
+  std::unordered_map<SourceId, sim::Time> local_heard_;
+  std::uint64_t global_sent_ = 0;
+  std::uint64_t local_sent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace srm

@@ -1,0 +1,234 @@
+#include "topo/builders.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace srm::topo {
+
+using net::NodeId;
+using net::Topology;
+
+Topology make_chain(std::size_t n, double link_delay) {
+  if (n == 0) throw std::invalid_argument("make_chain: n == 0");
+  Topology t(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), link_delay);
+  }
+  return t;
+}
+
+Star make_star(std::size_t leaves, double link_delay) {
+  if (leaves == 0) throw std::invalid_argument("make_star: no leaves");
+  Star s{Topology(leaves + 1), 0, {}};
+  s.leaves.reserve(leaves);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    const auto leaf = static_cast<NodeId>(i);
+    s.topo.add_link(s.center, leaf, link_delay);
+    s.leaves.push_back(leaf);
+  }
+  return s;
+}
+
+Topology make_bounded_degree_tree(std::size_t n, int degree,
+                                  double link_delay) {
+  if (n == 0) throw std::invalid_argument("make_bounded_degree_tree: n == 0");
+  if (degree < 2) {
+    throw std::invalid_argument("make_bounded_degree_tree: degree < 2");
+  }
+  Topology t(n);
+  if (n == 1) return t;
+  // BFS fill: node 0 may take `degree` children; every later node may take
+  // degree-1 children (one incident edge already connects it to its parent).
+  std::deque<std::pair<NodeId, int>> open;  // (node, remaining child slots)
+  open.emplace_back(0, degree);
+  NodeId next = 1;
+  while (next < n) {
+    if (open.empty()) {
+      throw std::logic_error("make_bounded_degree_tree: ran out of slots");
+    }
+    auto& [parent, slots] = open.front();
+    t.add_link(parent, next, link_delay);
+    open.emplace_back(next, degree - 1);
+    ++next;
+    if (--slots == 0) open.pop_front();
+  }
+  return t;
+}
+
+Topology make_random_tree(std::size_t n, util::Rng& rng, double link_delay) {
+  if (n == 0) throw std::invalid_argument("make_random_tree: n == 0");
+  Topology t(n);
+  if (n == 1) return t;
+  if (n == 2) {
+    t.add_link(0, 1, link_delay);
+    return t;
+  }
+  // Uniform random labeled tree from a uniform random Prufer sequence of
+  // length n-2.  Standard decoding with a degree array.
+  std::vector<std::size_t> prufer(n - 2);
+  for (auto& p : prufer) p = rng.index(n);
+  std::vector<int> degree(n, 1);
+  for (std::size_t p : prufer) ++degree[p];
+
+  std::set<std::size_t> leaves;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.insert(v);
+  }
+  for (std::size_t p : prufer) {
+    const std::size_t leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    t.add_link(static_cast<NodeId>(leaf), static_cast<NodeId>(p), link_delay);
+    if (--degree[p] == 1) leaves.insert(p);
+  }
+  const std::size_t u = *leaves.begin();
+  const std::size_t v = *std::next(leaves.begin());
+  t.add_link(static_cast<NodeId>(u), static_cast<NodeId>(v), link_delay);
+  return t;
+}
+
+Topology make_random_graph(std::size_t n, std::size_t edges, util::Rng& rng,
+                           double link_delay) {
+  if (n < 2) throw std::invalid_argument("make_random_graph: n < 2");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (edges < n - 1 || edges > max_edges) {
+    throw std::invalid_argument("make_random_graph: edge count out of range");
+  }
+  Topology t = make_random_tree(n, rng, link_delay);
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (const net::Link& l : t.links()) {
+    present.emplace(std::min(l.a, l.b), std::max(l.a, l.b));
+  }
+  while (t.link_count() < edges) {
+    const auto a = static_cast<NodeId>(rng.index(n));
+    const auto b = static_cast<NodeId>(rng.index(n));
+    if (a == b) continue;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (present.count(key)) continue;
+    present.insert(key);
+    t.add_link(a, b, link_delay);
+  }
+  return t;
+}
+
+TreeOfLans make_tree_of_lans(std::size_t routers, int degree,
+                             std::size_t hosts_per_lan, double backbone_delay,
+                             double lan_delay) {
+  if (hosts_per_lan == 0) {
+    throw std::invalid_argument("make_tree_of_lans: no hosts");
+  }
+  TreeOfLans out{make_bounded_degree_tree(routers, degree, backbone_delay),
+                 {},
+                 {}};
+  out.routers.reserve(routers);
+  for (std::size_t r = 0; r < routers; ++r) {
+    out.routers.push_back(static_cast<NodeId>(r));
+  }
+  for (std::size_t r = 0; r < routers; ++r) {
+    for (std::size_t h = 0; h < hosts_per_lan; ++h) {
+      const NodeId host = out.topo.add_node();
+      out.topo.add_link(static_cast<NodeId>(r), host, lan_delay);
+      out.workstations.push_back(host);
+    }
+  }
+  return out;
+}
+
+Topology make_ring(std::size_t n, double link_delay) {
+  if (n < 3) throw std::invalid_argument("make_ring: n < 3");
+  Topology t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+               link_delay);
+  }
+  return t;
+}
+
+Dumbbell make_dumbbell(std::size_t hosts_per_side, int bottleneck_hops,
+                       double bottleneck_delay, double access_delay) {
+  if (hosts_per_side == 0) {
+    throw std::invalid_argument("make_dumbbell: no hosts");
+  }
+  if (bottleneck_hops < 1) {
+    throw std::invalid_argument("make_dumbbell: bottleneck_hops < 1");
+  }
+  Dumbbell d{Topology(0), {}, {}, 0, 0};
+  d.left_router = d.topo.add_node();
+  NodeId prev = d.left_router;
+  for (int h = 0; h < bottleneck_hops; ++h) {
+    const NodeId next = d.topo.add_node();
+    d.topo.add_link(prev, next, bottleneck_delay);
+    prev = next;
+  }
+  d.right_router = prev;
+  for (std::size_t i = 0; i < hosts_per_side; ++i) {
+    const NodeId l = d.topo.add_node();
+    d.topo.add_link(d.left_router, l, access_delay);
+    d.left_hosts.push_back(l);
+    const NodeId r = d.topo.add_node();
+    d.topo.add_link(d.right_router, r, access_delay);
+    d.right_hosts.push_back(r);
+  }
+  return d;
+}
+
+TransitStub make_transit_stub(std::size_t transit,
+                              std::size_t stubs_per_transit,
+                              std::size_t stub_size, util::Rng& rng,
+                              double transit_delay, double stub_delay) {
+  if (transit < 3) throw std::invalid_argument("make_transit_stub: transit < 3");
+  if (stub_size == 0) {
+    throw std::invalid_argument("make_transit_stub: stub_size == 0");
+  }
+  TransitStub out{make_ring(transit, transit_delay), {}, {}};
+  for (std::size_t tn = 0; tn < transit; ++tn) {
+    out.transit_nodes.push_back(static_cast<NodeId>(tn));
+  }
+  for (std::size_t tn = 0; tn < transit; ++tn) {
+    for (std::size_t s = 0; s < stubs_per_transit; ++s) {
+      // Each stub domain is a small random tree grafted onto the transit
+      // node through its node 0.
+      Topology stub = make_random_tree(stub_size, rng, stub_delay);
+      std::vector<NodeId> local(stub_size);
+      for (std::size_t v = 0; v < stub_size; ++v) {
+        local[v] = out.topo.add_node();
+        out.stub_nodes.push_back(local[v]);
+      }
+      for (const net::Link& l : stub.links()) {
+        out.topo.add_link(local[l.a], local[l.b], stub_delay);
+      }
+      out.topo.add_link(static_cast<NodeId>(tn), local[0], stub_delay);
+    }
+  }
+  return out;
+}
+
+void assign_subtree_regions(Topology& topo, NodeId root) {
+  // BFS from each child of the root; everything reached without crossing the
+  // root belongs to that child's region (1-based).  Root keeps region 0.
+  topo.set_admin_region(root, 0);
+  std::uint32_t region = 0;
+  std::vector<bool> seen(topo.node_count(), false);
+  seen[root] = true;
+  for (const net::LinkEnd& e : topo.neighbors(root)) {
+    ++region;
+    std::deque<NodeId> q{e.peer};
+    if (seen[e.peer]) continue;
+    seen[e.peer] = true;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop_front();
+      topo.set_admin_region(v, region);
+      for (const net::LinkEnd& f : topo.neighbors(v)) {
+        if (!seen[f.peer]) {
+          seen[f.peer] = true;
+          q.push_back(f.peer);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace srm::topo

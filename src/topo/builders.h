@@ -1,0 +1,103 @@
+// Topology generators for the scenarios of Sections IV-V:
+// chains, stars, balanced bounded-degree trees, uniform random labeled trees
+// (Prufer construction, equivalent to the labeling algorithm of Palmer [28]
+// cited by the paper), random connected graphs (tree plus extra edges), and
+// trees of routers with attached Ethernet-like LANs.
+//
+// All links default to delay 1.0 ("one unit of time to travel each link")
+// and TTL threshold 1, matching the paper's normalization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace srm::topo {
+
+// A linear chain of n nodes: 0 - 1 - ... - n-1.
+net::Topology make_chain(std::size_t n, double link_delay = 1.0);
+
+struct Star {
+  net::Topology topo;
+  net::NodeId center;                // the hub router (not a session member)
+  std::vector<net::NodeId> leaves;   // the G candidate member nodes
+};
+
+// A star with `leaves` leaf nodes around one center node (Sec. IV-B: "the
+// center node is not a member of the multicast group", all links identical).
+Star make_star(std::size_t leaves, double link_delay = 1.0);
+
+// Balanced bounded-degree tree with exactly n nodes in which every interior
+// node has total degree `degree` (so the root has `degree` children and every
+// other interior node has degree-1 children).  Nodes are numbered in BFS
+// order from the root (node 0).
+net::Topology make_bounded_degree_tree(std::size_t n, int degree,
+                                       double link_delay = 1.0);
+
+// Uniform random labeled tree on n nodes via a random Prufer sequence.
+net::Topology make_random_tree(std::size_t n, util::Rng& rng,
+                               double link_delay = 1.0);
+
+// Connected random graph: a uniform random spanning tree plus
+// (edges - (n-1)) additional distinct random edges.  Requires
+// n-1 <= edges <= n*(n-1)/2.
+net::Topology make_random_graph(std::size_t n, std::size_t edges,
+                                util::Rng& rng, double link_delay = 1.0);
+
+struct TreeOfLans {
+  net::Topology topo;
+  std::vector<net::NodeId> routers;
+  std::vector<net::NodeId> workstations;  // LAN hosts (session candidates)
+};
+
+// A bounded-degree tree of `routers` routers, each with `hosts_per_lan`
+// workstations attached over fast LAN links (Sec. V-B mentions "each of the
+// nodes ... is a router with an adjacent Ethernet with 5 workstations").
+TreeOfLans make_tree_of_lans(std::size_t routers, int degree,
+                             std::size_t hosts_per_lan,
+                             double backbone_delay = 1.0,
+                             double lan_delay = 0.1);
+
+// A ring of n nodes (n >= 3): the smallest topology with redundant paths,
+// exercising shortest-path tie-breaks and non-tree routing.
+net::Topology make_ring(std::size_t n, double link_delay = 1.0);
+
+struct Dumbbell {
+  net::Topology topo;
+  std::vector<net::NodeId> left_hosts;
+  std::vector<net::NodeId> right_hosts;
+  net::NodeId left_router;
+  net::NodeId right_router;
+};
+
+// The classic dumbbell: two access stars joined by a bottleneck path of
+// `bottleneck_hops` links (each of `bottleneck_delay`), hosts on 1-delay
+// access links.  The canonical shape for shared-bottleneck loss.
+Dumbbell make_dumbbell(std::size_t hosts_per_side, int bottleneck_hops = 1,
+                       double bottleneck_delay = 5.0,
+                       double access_delay = 1.0);
+
+struct TransitStub {
+  net::Topology topo;
+  std::vector<net::NodeId> transit_nodes;
+  std::vector<net::NodeId> stub_nodes;  // session candidates
+};
+
+// A GT-ITM-style transit-stub internetwork: a ring of `transit` backbone
+// routers, each attached to `stubs_per_transit` stub domains, each a small
+// random tree of `stub_size` nodes.  Backbone links are slower than stub
+// links, giving the strong delay diversity SRM's timers exploit.
+TransitStub make_transit_stub(std::size_t transit,
+                              std::size_t stubs_per_transit,
+                              std::size_t stub_size, util::Rng& rng,
+                              double transit_delay = 5.0,
+                              double stub_delay = 1.0);
+
+// Assigns each subtree hanging off the root of a tree topology its own
+// administrative region (region = index of the root's child subtree; the
+// root itself stays in region 0).  Convenience for admin-scope tests.
+void assign_subtree_regions(net::Topology& topo, net::NodeId root);
+
+}  // namespace srm::topo

@@ -1,0 +1,61 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace srm::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::uint64_t Flags::get_seed(std::uint64_t default_value) const {
+  const auto it = values_.find("seed");
+  if (it == values_.end()) return default_value;
+  return std::stoull(it->second);
+}
+
+}  // namespace srm::util

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace srm::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed through splitmix64 so that adjacent user seeds (0, 1, 2,
+  // ...) still produce uncorrelated mt19937_64 states.
+  std::uint64_t s = seed;
+  std::seed_seq seq{static_cast<std::uint32_t>(splitmix64(s)),
+                    static_cast<std::uint32_t>(splitmix64(s)),
+                    static_cast<std::uint32_t>(splitmix64(s)),
+                    static_cast<std::uint32_t>(splitmix64(s))};
+  engine_.seed(seq);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  }
+  // Partial Fisher-Yates over an index vector: O(n) space, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+}  // namespace srm::util

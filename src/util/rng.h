@@ -1,0 +1,66 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic choice in the simulator flows through an Rng instance that
+// is constructed from an explicit 64-bit seed, so that any experiment can be
+// reproduced exactly by re-running with the same seed.  Child generators can
+// be forked with independent streams (e.g. one per simulated host) without
+// the streams being correlated.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace srm::util {
+
+// splitmix64: used to expand a user seed into well-distributed stream seeds.
+// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA 2014.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// A seeded random source.  Thin wrapper over mt19937_64 with the handful of
+// distributions the simulator needs.  Copyable (copies the full state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // A new generator whose stream is independent of this one; deterministic
+  // given this generator's current state.
+  Rng fork();
+
+  // Uniform real in [lo, hi).  Requires lo <= hi; returns lo when lo == hi.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // k distinct values sampled uniformly from [0, n); k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t n);
+
+  std::uint64_t next_u64();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace srm::util

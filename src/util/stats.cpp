@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace srm::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return n_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double RunningStats::max() const {
+  return n_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  cache_valid_ = false;
+}
+
+void Samples::clear() {
+  values_.clear();
+  sorted_cache_.clear();
+  cache_valid_ = true;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+const std::vector<double>& Samples::sorted() const {
+  if (!cache_valid_) {
+    sorted_cache_ = values_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_valid_ = true;
+  }
+  return sorted_cache_;
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("Samples::quantile: empty");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Samples::quantile: q outside [0,1]");
+  }
+  const std::vector<double>& v = sorted();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+Ewma::Ewma(double alpha, double initial) : alpha_(alpha), value_(initial) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Ewma: alpha outside (0,1]");
+  }
+}
+
+void Ewma::update(double sample) {
+  if (!seeded_) {
+    // First sample initializes the average so early rounds are not biased
+    // toward the arbitrary initial value.
+    value_ = sample;
+    seeded_ = true;
+    return;
+  }
+  value_ = (1.0 - alpha_) * value_ + alpha_ * sample;
+}
+
+void Ewma::reset(double value) {
+  value_ = value;
+  seeded_ = false;
+}
+
+Summary summarize(const Samples& s) {
+  Summary out;
+  out.count = s.count();
+  if (s.empty()) return out;
+  out.mean = s.mean();
+  out.median = s.median();
+  out.q1 = s.lower_quartile();
+  out.q3 = s.upper_quartile();
+  out.min = s.min();
+  out.max = s.max();
+  return out;
+}
+
+}  // namespace srm::util

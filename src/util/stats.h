@@ -1,0 +1,98 @@
+// Small statistics helpers used by the experiment harness and the SRM
+// adaptive algorithms: running moments, sample quartiles (the paper reports
+// medians and upper/lower quartiles across 20 trials), and the exponential
+// weighted moving average used by the adaptive timer algorithm (Sec. VII-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace srm::util {
+
+// Accumulates count/mean/variance/min/max without storing samples
+// (Welford's online algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;       // 0 when empty
+  double variance() const;   // sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const;        // +inf when empty
+  double max() const;        // -inf when empty
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+// Stores samples and answers order statistics.  Used to produce the
+// median / quartile lines of the paper's figures.
+class Samples {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+
+  // Linear-interpolated quantile, q in [0, 1].  Requires non-empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double lower_quartile() const { return quantile(0.25); }
+  double upper_quartile() const { return quantile(0.75); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  // Samples in insertion order (quantile queries do not reorder them).
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;                // insertion order
+  mutable std::vector<double> sorted_cache_;  // rebuilt lazily for quantiles
+  mutable bool cache_valid_ = true;
+  const std::vector<double>& sorted() const;
+};
+
+// Exponential weighted moving average:
+//   avg <- (1 - alpha) * avg + alpha * sample.
+// The paper uses alpha = 1/4 for ave_dup_req / ave_req_delay (Sec. VII-A
+// uses 1/4 in the text's formula with weight 3/4 on history).
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0);
+
+  void update(double sample);
+  void reset(double value);
+
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_;
+  bool seeded_ = false;
+};
+
+// Five-number summary of a sample set, convenient for table rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const Samples& s);
+
+}  // namespace srm::util

@@ -1,0 +1,37 @@
+// Plain-text table formatting for benchmark output.  Each figure bench emits
+// the series the paper plots as an aligned column table so the shape of the
+// result can be compared against the paper directly from a terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace srm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+
+  // Renders with column alignment; includes a header underline.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A named section banner, e.g. "== Figure 3: random trees ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace srm::util

@@ -1,0 +1,145 @@
+#include "wb/drawop.h"
+
+#include <cstring>
+
+namespace srm::wb {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xDB;
+constexpr std::uint8_t kVersion = 1;
+
+void put_u8(Payload& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(Payload& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(Payload& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void put_f64(Payload& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+class Reader {
+ public:
+  explicit Reader(const Payload& bytes) : bytes_(&bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_->size()) return false;
+    v = (*bytes_)[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_->size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>((*bytes_)[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_->size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>((*bytes_)[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+  bool str(std::string& v) {
+    std::uint32_t len;
+    if (!u32(len)) return false;
+    if (pos_ + len > bytes_->size()) return false;
+    v.assign(reinterpret_cast<const char*>(bytes_->data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool exhausted() const { return pos_ == bytes_->size(); }
+
+ private:
+  const Payload* bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Payload encode(const DrawOp& op) {
+  Payload out;
+  out.reserve(80 + op.text.size());
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(op.type));
+  put_f64(out, op.x1);
+  put_f64(out, op.y1);
+  put_f64(out, op.x2);
+  put_f64(out, op.y2);
+  put_u8(out, op.color.r);
+  put_u8(out, op.color.g);
+  put_u8(out, op.color.b);
+  put_f64(out, op.timestamp);
+  put_u32(out, static_cast<std::uint32_t>(op.text.size()));
+  out.insert(out.end(), op.text.begin(), op.text.end());
+  put_u32(out, op.target.source);
+  put_u32(out, op.target.page.creator);
+  put_u32(out, op.target.page.number);
+  put_u64(out, op.target.seq);
+  return out;
+}
+
+std::optional<DrawOp> decode(const Payload& bytes) {
+  Reader r(bytes);
+  std::uint8_t magic, version, type;
+  if (!r.u8(magic) || magic != kMagic) return std::nullopt;
+  if (!r.u8(version) || version != kVersion) return std::nullopt;
+  if (!r.u8(type) || type < 1 ||
+      type > static_cast<std::uint8_t>(OpType::kDelete)) {
+    return std::nullopt;
+  }
+  DrawOp op;
+  op.type = static_cast<OpType>(type);
+  if (!r.f64(op.x1) || !r.f64(op.y1) || !r.f64(op.x2) || !r.f64(op.y2)) {
+    return std::nullopt;
+  }
+  if (!r.u8(op.color.r) || !r.u8(op.color.g) || !r.u8(op.color.b)) {
+    return std::nullopt;
+  }
+  if (!r.f64(op.timestamp)) return std::nullopt;
+  if (!r.str(op.text)) return std::nullopt;
+  std::uint32_t page_creator, page_number;
+  if (!r.u32(op.target.source) || !r.u32(page_creator) ||
+      !r.u32(page_number) || !r.u64(op.target.seq)) {
+    return std::nullopt;
+  }
+  op.target.page = PageId{page_creator, page_number};
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage: reject
+  return op;
+}
+
+std::string to_string(OpType t) {
+  switch (t) {
+    case OpType::kLine:
+      return "line";
+    case OpType::kRect:
+      return "rect";
+    case OpType::kCircle:
+      return "circle";
+    case OpType::kText:
+      return "text";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+}  // namespace srm::wb

@@ -1,0 +1,55 @@
+// Drawing operations ("drawops") — wb's application data units (Sec. II-C).
+//
+// Each member drawing on the whiteboard produces a stream of drawops that
+// are timestamped and sequence-numbered relative to the sender.  Drawops are
+// idempotent and rendered immediately on receipt; out-of-order arrivals are
+// sorted by timestamp.  Non-idempotent operations (delete) reference an
+// earlier drawop by name and are "patched after the fact, when the missing
+// data arrives".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "srm/messages.h"
+#include "srm/names.h"
+
+namespace srm::wb {
+
+enum class OpType : std::uint8_t {
+  kLine = 1,
+  kRect = 2,
+  kCircle = 3,
+  kText = 4,
+  kDelete = 5,  // removes the drawop named by `target`
+};
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Color&, const Color&) = default;
+};
+
+struct DrawOp {
+  OpType type = OpType::kLine;
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;  // geometry (center+radius for circle)
+  Color color;
+  std::string text;          // for kText
+  double timestamp = 0;      // sender clock at creation (render ordering)
+  DataName target;           // for kDelete: the drawop to remove
+
+  friend bool operator==(const DrawOp&, const DrawOp&) = default;
+};
+
+// Binary codec for shipping drawops through SRM payloads.  The encoding is
+// self-contained and versioned so stored payloads stay decodable.
+Payload encode(const DrawOp& op);
+
+// Returns nullopt on malformed input (wrong magic/version or truncation);
+// a corrupt payload must never crash the whiteboard (Sec. III-E discusses
+// corrupt data spreading "like a virus" — we at least refuse to apply it).
+std::optional<DrawOp> decode(const Payload& bytes);
+
+std::string to_string(OpType t);
+
+}  // namespace srm::wb

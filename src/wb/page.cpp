@@ -1,0 +1,43 @@
+#include "wb/page.h"
+
+#include <algorithm>
+
+namespace srm::wb {
+
+bool Page::apply(const DataName& name, const DrawOp& op) {
+  // Idempotence: the name always refers to the same data, so a duplicate
+  // apply cannot change anything.
+  if (!ops_.emplace(name, op).second) return false;
+  if (op.type == OpType::kDelete) {
+    // The target may not have arrived yet ("patched after the fact"):
+    // record the deletion unconditionally.
+    deleted_.insert(op.target);
+  }
+  return true;
+}
+
+std::optional<DrawOp> Page::find(const DataName& name) const {
+  const auto it = ops_.find(name);
+  if (it == ops_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<DataName, DrawOp>> Page::visible_ops() const {
+  std::vector<std::pair<DataName, DrawOp>> out;
+  for (const auto& [name, op] : ops_) {
+    if (op.type == OpType::kDelete) continue;
+    if (deleted_.count(name)) continue;
+    out.emplace_back(name, op);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.timestamp != b.second.timestamp) {
+      return a.second.timestamp < b.second.timestamp;
+    }
+    return a.first < b.first;  // deterministic tie-break by name
+  });
+  return out;
+}
+
+std::size_t Page::visible_count() const { return visible_ops().size(); }
+
+}  // namespace srm::wb

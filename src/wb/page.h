@@ -1,0 +1,52 @@
+// A whiteboard page: the set of drawops applied to it, with wb's
+// consistency rules (Sec. II-C):
+//   - a name always refers to the same data; drawops are idempotent,
+//   - out-of-order drawops are ordered by (timestamp, name) on render,
+//   - deletes reference an earlier drawop by name and are patched after the
+//     fact if the delete arrives before its target.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "srm/names.h"
+#include "wb/drawop.h"
+
+namespace srm::wb {
+
+class Page {
+ public:
+  explicit Page(PageId id) : id_(id) {}
+
+  const PageId& id() const { return id_; }
+
+  // Applies one named drawop.  Re-applying the same name is a no-op
+  // (idempotence).  Returns true if the op changed page state.
+  bool apply(const DataName& name, const DrawOp& op);
+
+  // All drawops ever applied (including deleted ones), by name.
+  std::size_t op_count() const { return ops_.size(); }
+  bool contains(const DataName& name) const { return ops_.count(name) > 0; }
+  std::optional<DrawOp> find(const DataName& name) const;
+
+  // The ops currently visible (not deleted), sorted by (timestamp, name) so
+  // that every member renders the same picture regardless of arrival order.
+  std::vector<std::pair<DataName, DrawOp>> visible_ops() const;
+
+  // Number of visible (non-delete, non-deleted) ops.
+  std::size_t visible_count() const;
+
+  // True if `name` was deleted (possibly before its target ever arrived).
+  bool is_deleted(const DataName& name) const {
+    return deleted_.count(name) > 0;
+  }
+
+ private:
+  PageId id_;
+  std::map<DataName, DrawOp> ops_;  // ordered for deterministic iteration
+  std::set<DataName> deleted_;      // targets of delete ops (maybe pending)
+};
+
+}  // namespace srm::wb

@@ -1,0 +1,59 @@
+#include "wb/recorder.h"
+
+#include <map>
+#include <memory>
+
+namespace srm::wb {
+
+Recorder::Recorder(Whiteboard& board) : board_(&board) {
+  // There is no listener getter on Whiteboard by design (one listener);
+  // recorders chain manually through set_listener's replacement.
+  previous_ = nullptr;
+  board_->set_listener([this](const PageId& page, const DataName& name,
+                              const DrawOp& op) {
+    if (recording_) {
+      log_.push_back(RecordedOp{board_->agent().queue().now(), page, name, op});
+    }
+    if (previous_) previous_(page, name, op);
+  });
+}
+
+void Recorder::stop() { recording_ = false; }
+
+sim::Time Recorder::duration() const {
+  if (log_.size() < 2) return 0.0;
+  return log_.back().at - log_.front().at;
+}
+
+void Recorder::replay_into(Whiteboard& target, sim::EventQueue& queue,
+                           double time_scale) const {
+  if (log_.empty()) return;
+  const sim::Time t0 = log_.front().at;
+  // Names are re-authored by the target member; deletes that referenced a
+  // recorded op must point at its replayed name.  The mapping is built as
+  // the replay proceeds (recordings are time-ordered, and a delete always
+  // follows its target in wb).
+  auto renames = std::make_shared<std::map<DataName, DataName>>();
+  for (const RecordedOp& rec : log_) {
+    const sim::Time delay = (rec.at - t0) * time_scale;
+    queue.schedule_after(delay, [&target, rec, renames] {
+      DrawOp op = rec.op;
+      if (op.type == OpType::kDelete) {
+        const auto it = renames->find(op.target);
+        if (it != renames->end()) op.target = it->second;
+      }
+      const DataName fresh = target.draw(rec.page, op);
+      (*renames)[rec.name] = fresh;
+    });
+  }
+}
+
+Page Recorder::snapshot(const PageId& page) const {
+  Page out(page);
+  for (const RecordedOp& rec : log_) {
+    if (rec.page == page) out.apply(rec.name, rec.op);
+  }
+  return out;
+}
+
+}  // namespace srm::wb

@@ -1,0 +1,57 @@
+// Session recording and playback — the "generic recording and playback
+// tools" role of the toolkit the paper sketches in Sec. IX-D.
+//
+// A Recorder subscribes to a whiteboard and logs every applied drawop with
+// the virtual time it arrived.  A recording can be replayed into any other
+// whiteboard (live, re-multicasting each drawop on the same schedule) or
+// applied instantly to rebuild the final picture.  Because ADU names are
+// persistent and ops idempotent, replaying into a session that already saw
+// some of the traffic is harmless.
+#pragma once
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "wb/whiteboard.h"
+
+namespace srm::wb {
+
+struct RecordedOp {
+  sim::Time at = 0.0;  // virtual time the op was applied locally
+  PageId page;
+  DataName name;
+  DrawOp op;
+};
+
+class Recorder {
+ public:
+  // Starts recording immediately.  The recorder replaces the whiteboard's
+  // listener; a previously installed listener keeps being invoked.
+  explicit Recorder(Whiteboard& board);
+
+  void stop();  // detaches; the recording stays available
+
+  const std::vector<RecordedOp>& recording() const { return log_; }
+  std::size_t size() const { return log_.size(); }
+  // Duration from first to last recorded op (0 for < 2 ops).
+  sim::Time duration() const;
+
+  // Replays the recording into `target` as fresh drawops authored by the
+  // target's member, on the original page, preserving inter-op spacing
+  // scaled by `time_scale` (2.0 = half speed).  Delete ops whose target
+  // was renamed by the replay are re-targeted accordingly.
+  void replay_into(Whiteboard& target, sim::EventQueue& queue,
+                   double time_scale = 1.0) const;
+
+  // Applies the recording instantly to a local page model (no
+  // transmission): rebuilds the final picture for offline inspection.
+  Page snapshot(const PageId& page) const;
+
+ private:
+  Whiteboard* board_;
+  Whiteboard::DrawOpListener previous_;
+  std::vector<RecordedOp> log_;
+  bool recording_ = true;
+};
+
+}  // namespace srm::wb

@@ -1,0 +1,83 @@
+#include "wb/whiteboard.h"
+
+#include <algorithm>
+
+namespace srm::wb {
+
+Whiteboard::Whiteboard(SrmAgent& agent) : agent_(&agent) {
+  SrmAgent::AppHooks hooks;
+  hooks.on_data = [this](const DataName& name, const Payload& payload,
+                         bool via_repair) {
+    on_data(name, payload, via_repair);
+  };
+  hooks.on_page_list = [this](const std::vector<PageId>& discovered) {
+    for (const PageId& p : discovered) pages_.try_emplace(p, p);
+  };
+  agent_->set_app_hooks(std::move(hooks));
+}
+
+PageId Whiteboard::create_page() {
+  const PageId id{agent_->id(), next_page_number_++};
+  pages_.try_emplace(id, id);
+  view_page(id);
+  return id;
+}
+
+void Whiteboard::view_page(const PageId& page) {
+  const auto [it, inserted] = pages_.try_emplace(page, page);
+  agent_->set_current_page(page);
+  // Browsing to a page we have no content for: ask the group for its
+  // state; the replies drive normal SRM recovery of the drawops.
+  if (it->second.op_count() == 0 && page.creator != agent_->id()) {
+    agent_->request_page_state(page);
+  }
+}
+
+void Whiteboard::browse() { agent_->request_page_state(std::nullopt); }
+
+DataName Whiteboard::draw(const PageId& page_id, const DrawOp& op) {
+  const DataName name = agent_->send_data(page_id, encode(op));
+  // Local echo: our own sends do not loop back through the network.
+  page(page_id).apply(name, op);
+  if (listener_) listener_(page_id, name, op);
+  return name;
+}
+
+DataName Whiteboard::erase(const PageId& page_id, const DataName& target) {
+  DrawOp del;
+  del.type = OpType::kDelete;
+  del.target = target;
+  return draw(page_id, del);
+}
+
+std::vector<PageId> Whiteboard::pages() const {
+  std::vector<PageId> out;
+  out.reserve(pages_.size());
+  for (const auto& [id, p] : pages_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Page* Whiteboard::find_page(const PageId& id) const {
+  const auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+Page& Whiteboard::page(const PageId& id) {
+  return pages_.try_emplace(id, id).first->second;
+}
+
+void Whiteboard::on_data(const DataName& name, const Payload& payload,
+                         bool via_repair) {
+  (void)via_repair;
+  const auto op = decode(payload);
+  if (!op) {
+    // Refuse to apply corrupt data rather than spreading it (Sec. III-E).
+    ++corrupt_;
+    return;
+  }
+  Page& p = page(name.page);
+  if (p.apply(name, *op) && listener_) listener_(name.page, name, *op);
+}
+
+}  // namespace srm::wb

@@ -1,0 +1,76 @@
+// The wb application over the SRM framework (Sec. II-C, III-E).
+//
+// Whiteboard supplies the four application-specific pieces the framework
+// asks for (Sec. II-B): a namespace (pages of drawops), participation in
+// the bandwidth policy (the agent's token bucket), send priorities (current
+// page recovery > new data > old pages, via the agent's priority bands),
+// and delivery semantics (idempotent drawops, timestamp-ordered rendering).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "srm/agent.h"
+#include "wb/drawop.h"
+#include "wb/page.h"
+
+namespace srm::wb {
+
+class Whiteboard {
+ public:
+  // Attaches to an SrmAgent.  The whiteboard installs itself as the agent's
+  // application hooks; one agent serves one whiteboard.
+  explicit Whiteboard(SrmAgent& agent);
+
+  // Creates a new page owned by this member and switches to it.
+  PageId create_page();
+
+  // Switches the page being viewed (affects session reporting and repair
+  // priorities via the agent).  If this member has no drawops for the page
+  // yet, a page request fetches its state from the group (Sec. III-A).
+  void view_page(const PageId& page);
+  const PageId& current_page() const { return agent_->current_page(); }
+
+  // Asks the group which pages exist (late-join browsing); discovered pages
+  // appear in pages() once replies arrive.
+  void browse();
+
+  // Draws on a page: encodes and multicasts the drawop, applies it locally.
+  // Returns the drawop's persistent name.
+  DataName draw(const PageId& page, const DrawOp& op);
+
+  // Deletes a previously drawn op (Sec. II-C: changes are effected by new
+  // drawops, never by mutating existing names).
+  DataName erase(const PageId& page, const DataName& target);
+
+  // Pages known to this member (locally created or learned from the group).
+  std::vector<PageId> pages() const;
+  const Page* find_page(const PageId& id) const;
+  Page& page(const PageId& id);
+
+  // Invoked whenever a drawop (own or remote, original or repaired) is
+  // applied to a page.
+  using DrawOpListener =
+      std::function<void(const PageId&, const DataName&, const DrawOp&)>;
+  void set_listener(DrawOpListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  SrmAgent& agent() { return *agent_; }
+
+  // Count of malformed payloads refused (integrity guard, Sec. III-E).
+  std::size_t corrupt_payloads() const { return corrupt_; }
+
+ private:
+  void on_data(const DataName& name, const Payload& payload, bool via_repair);
+
+  SrmAgent* agent_;
+  std::unordered_map<PageId, Page> pages_;
+  std::uint32_t next_page_number_ = 0;
+  DrawOpListener listener_;
+  std::size_t corrupt_ = 0;
+};
+
+}  // namespace srm::wb

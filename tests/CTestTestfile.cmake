@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/util_test[1]_include.cmake")
+include("/root/repo/tests/sim_test[1]_include.cmake")
+include("/root/repo/tests/net_test[1]_include.cmake")
+include("/root/repo/tests/topo_test[1]_include.cmake")
+include("/root/repo/tests/srm_test[1]_include.cmake")
+include("/root/repo/tests/harness_test[1]_include.cmake")
+include("/root/repo/tests/wb_test[1]_include.cmake")
+include("/root/repo/tests/integration_test[1]_include.cmake")

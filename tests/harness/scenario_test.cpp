@@ -1,0 +1,143 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topo/builders.h"
+
+namespace srm::harness {
+namespace {
+
+TEST(MulticastTreeLinksTest, ChainCoversPathOnly) {
+  auto topo = topo::make_chain(6);
+  net::Routing r(topo);
+  const auto links = multicast_tree_links(r, 0, {0, 3});
+  EXPECT_EQ(links.size(), 3u);  // (0,1), (1,2), (2,3)
+  for (const auto& l : links) {
+    EXPECT_EQ(l.to, l.from + 1);  // oriented downstream
+  }
+}
+
+TEST(MulticastTreeLinksTest, SharedPrefixNotDuplicated) {
+  auto topo = topo::make_bounded_degree_tree(13, 4);
+  net::Routing r(topo);
+  // Members 5 and 6 share parent 1: links (0,1), (1,5), (1,6).
+  const auto links = multicast_tree_links(r, 0, {5, 6});
+  EXPECT_EQ(links.size(), 3u);
+}
+
+TEST(MulticastTreeLinksTest, SourceAsOnlyMemberIsEmpty) {
+  auto topo = topo::make_chain(3);
+  net::Routing r(topo);
+  EXPECT_TRUE(multicast_tree_links(r, 1, {1}).empty());
+}
+
+TEST(ChooseCongestedLinkTest, AlwaysOnTree) {
+  util::Rng rng(5);
+  auto topo = topo::make_bounded_degree_tree(40, 4);
+  net::Routing r(topo);
+  const std::vector<net::NodeId> members{3, 7, 20, 39};
+  const auto all = multicast_tree_links(r, 3, members);
+  std::set<std::pair<net::NodeId, net::NodeId>> valid;
+  for (const auto& l : all) valid.emplace(l.from, l.to);
+  for (int i = 0; i < 50; ++i) {
+    const auto picked = choose_congested_link(r, 3, members, rng);
+    EXPECT_TRUE(valid.count({picked.from, picked.to}));
+  }
+}
+
+TEST(LinkAdjacentToSourceTest, FirstHop) {
+  auto topo = topo::make_chain(5);
+  net::Routing r(topo);
+  const auto l = link_adjacent_to_source(r, 1, {4});
+  EXPECT_EQ(l.from, 1u);
+  EXPECT_EQ(l.to, 2u);
+}
+
+TEST(AffectedMembersTest, DownstreamOnly) {
+  auto topo = topo::make_chain(6);
+  net::Routing r(topo);
+  const std::vector<net::NodeId> members{0, 1, 2, 3, 4, 5};
+  const auto aff = affected_members(r, 0, DirectedLink{2, 3}, members);
+  EXPECT_EQ(aff, (std::vector<net::NodeId>{3, 4, 5}));
+}
+
+TEST(AffectedMembersTest, BranchIsolation) {
+  auto topo = topo::make_bounded_degree_tree(13, 4);
+  net::Routing r(topo);
+  const std::vector<net::NodeId> members{5, 6, 8, 12};
+  // Drop on (0,1): only the subtree under 1 (members 5, 6) is affected.
+  const auto aff = affected_members(r, 0, DirectedLink{0, 1}, members);
+  EXPECT_EQ(aff, (std::vector<net::NodeId>{5, 6}));
+}
+
+TEST(ChooseMembersTest, DistinctAndInRange) {
+  util::Rng rng(9);
+  const auto m = choose_members(100, 20, rng);
+  EXPECT_EQ(m.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+  std::set<net::NodeId> uniq(m.begin(), m.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  EXPECT_LT(*uniq.rbegin(), 100u);
+}
+
+TEST(TtlReachTest, HopLimitedOnChain) {
+  auto topo = topo::make_chain(10);
+  const auto reach = ttl_reach(topo, 0, 3);
+  EXPECT_EQ(reach, (std::vector<net::NodeId>{1, 2, 3}));
+}
+
+TEST(TtlReachTest, ThresholdRaisesRequiredTtl) {
+  net::Topology topo(3);
+  topo.add_link(0, 1, 1.0, 1);
+  topo.add_link(1, 2, 1.0, 5);
+  EXPECT_EQ(ttl_reach(topo, 0, 4), (std::vector<net::NodeId>{1}));
+  // TTL 6: at node 1 the packet has TTL 5 >= threshold 5.
+  EXPECT_EQ(ttl_reach(topo, 0, 6), (std::vector<net::NodeId>{1, 2}));
+}
+
+TEST(TtlReachTest, ZeroTtlReachesNothing) {
+  auto topo = topo::make_chain(3);
+  EXPECT_TRUE(ttl_reach(topo, 0, 0).empty());
+}
+
+TEST(MinTtlTest, AllAndAnyOnChain) {
+  auto topo = topo::make_chain(8);
+  EXPECT_EQ(min_ttl_to_reach_all(topo, 0, {3, 5}), 5);
+  EXPECT_EQ(min_ttl_to_reach_any(topo, 0, {3, 5}), 3);
+  EXPECT_EQ(min_ttl_to_reach_any(topo, 0, {0, 5}), 0);  // origin included
+}
+
+TEST(MinTtlTest, ConsistentWithReach) {
+  util::Rng rng(13);
+  auto topo = topo::make_bounded_degree_tree(60, 4);
+  const std::vector<net::NodeId> targets{10, 33, 59};
+  const int t = min_ttl_to_reach_all(topo, 5, targets);
+  ASSERT_GT(t, 0);
+  const auto reach = ttl_reach(topo, 5, t);
+  for (net::NodeId v : targets) {
+    EXPECT_TRUE(std::find(reach.begin(), reach.end(), v) != reach.end());
+  }
+  // One less TTL must miss at least one target.
+  const auto reach_less = ttl_reach(topo, 5, t - 1);
+  bool all_in = true;
+  for (net::NodeId v : targets) {
+    if (std::find(reach_less.begin(), reach_less.end(), v) ==
+        reach_less.end()) {
+      all_in = false;
+    }
+  }
+  EXPECT_FALSE(all_in);
+}
+
+TEST(MinTtlTest, UnreachableReturnsMinusOne) {
+  net::Topology topo(3);
+  topo.add_link(0, 1);
+  EXPECT_EQ(min_ttl_to_reach_all(topo, 0, {2}), -1);
+  EXPECT_EQ(min_ttl_to_reach_any(topo, 0, {2}), -1);
+}
+
+}  // namespace
+}  // namespace srm::harness

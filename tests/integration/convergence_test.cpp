@@ -1,0 +1,161 @@
+// End-to-end convergence properties, parameterized across topology families
+// and seeds: whatever the topology and loss pattern, SRM's one guarantee —
+// eventual delivery of all data to all members (Sec. III) — must hold, with
+// session messages covering tail losses.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/scenario.h"
+#include "harness/session.h"
+#include "net/drop_policy.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm {
+namespace {
+
+enum class TopoKind { kChain, kStar, kBoundedTree, kRandomTree, kRandomGraph,
+                      kTreeOfLans };
+
+std::string kind_name(TopoKind k) {
+  switch (k) {
+    case TopoKind::kChain: return "Chain";
+    case TopoKind::kStar: return "Star";
+    case TopoKind::kBoundedTree: return "BoundedTree";
+    case TopoKind::kRandomTree: return "RandomTree";
+    case TopoKind::kRandomGraph: return "RandomGraph";
+    case TopoKind::kTreeOfLans: return "TreeOfLans";
+  }
+  return "?";
+}
+
+struct ConvergenceCase {
+  TopoKind kind;
+  std::uint64_t seed;
+  double loss_rate;
+};
+
+class ConvergenceTest : public ::testing::TestWithParam<ConvergenceCase> {
+ protected:
+  // Builds (topology, member nodes) for the parameterized kind.
+  static std::pair<net::Topology, std::vector<net::NodeId>> build(
+      TopoKind kind, util::Rng& rng) {
+    switch (kind) {
+      case TopoKind::kChain: {
+        auto t = topo::make_chain(12);
+        return {std::move(t), all(12)};
+      }
+      case TopoKind::kStar: {
+        auto s = topo::make_star(15);
+        return {std::move(s.topo), s.leaves};
+      }
+      case TopoKind::kBoundedTree: {
+        auto t = topo::make_bounded_degree_tree(60, 4);
+        return {std::move(t), harness::choose_members(60, 20, rng)};
+      }
+      case TopoKind::kRandomTree: {
+        auto t = topo::make_random_tree(40, rng);
+        return {std::move(t), harness::choose_members(40, 15, rng)};
+      }
+      case TopoKind::kRandomGraph: {
+        auto t = topo::make_random_graph(40, 60, rng);
+        return {std::move(t), harness::choose_members(40, 15, rng)};
+      }
+      case TopoKind::kTreeOfLans: {
+        auto tl = topo::make_tree_of_lans(8, 3, 3);
+        std::vector<net::NodeId> members = tl.workstations;
+        return {std::move(tl.topo), std::move(members)};
+      }
+    }
+    throw std::logic_error("unreachable");
+  }
+
+  static std::vector<net::NodeId> all(std::size_t n) {
+    std::vector<net::NodeId> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+    return v;
+  }
+};
+
+TEST_P(ConvergenceTest, AllDataReachesAllMembersUnderRandomLoss) {
+  const auto& param = GetParam();
+  util::Rng rng(param.seed);
+  auto [topo, members] = build(param.kind, rng);
+
+  SrmConfig cfg;
+  cfg.timers = paper_fixed_params(members.size());
+  cfg.backoff_factor = 3.0;
+  harness::SimSession session(std::move(topo), members,
+                              {cfg, param.seed, 1});
+
+  // Random loss on data packets only (requests/repairs get through, as in
+  // the paper's Sec. V methodology).
+  session.network().set_drop_policy(std::make_shared<net::RandomDrop>(
+      param.loss_rate, util::Rng(param.seed ^ 0xABCD),
+      [](const net::Packet& p) {
+        return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
+      }));
+
+  // Two senders interleave ADUs on their own pages.
+  const net::NodeId sender_a = members.front();
+  const net::NodeId sender_b = members.back();
+  const PageId page_a{static_cast<SourceId>(sender_a), 0};
+  const PageId page_b{static_cast<SourceId>(sender_b), 0};
+  session.for_each_agent([&](SrmAgent& a) { a.set_current_page(page_a); });
+  constexpr int kAdus = 15;
+  for (int i = 0; i < kAdus; ++i) {
+    session.agent_at(sender_a).send_data(page_a, {static_cast<uint8_t>(i)});
+    session.agent_at(sender_b).send_data(page_b, {static_cast<uint8_t>(i)});
+    session.queue().run();
+  }
+
+  // Tail losses need session messages; run a few reporting rounds per page.
+  for (const PageId& page : {page_a, page_b}) {
+    session.for_each_agent([&](SrmAgent& a) { a.set_current_page(page); });
+    for (int round = 0; round < 3; ++round) {
+      session.for_each_agent([&](SrmAgent& a) {
+        a.send_session_message();
+        session.queue().run();
+      });
+    }
+  }
+
+  for (net::NodeId m : members) {
+    const SrmAgent& agent = session.agent_at(m);
+    EXPECT_EQ(agent.metrics().recovery_abandoned, 0u);
+    for (SeqNo q = 0; q < kAdus; ++q) {
+      EXPECT_TRUE(agent.has_data(DataName{
+          static_cast<SourceId>(sender_a), page_a, q}))
+          << kind_name(param.kind) << " member " << m << " seq " << q;
+      EXPECT_TRUE(agent.has_data(DataName{
+          static_cast<SourceId>(sender_b), page_b, q}))
+          << kind_name(param.kind) << " member " << m << " seq " << q;
+    }
+  }
+}
+
+std::vector<ConvergenceCase> make_cases() {
+  std::vector<ConvergenceCase> cases;
+  for (TopoKind kind : {TopoKind::kChain, TopoKind::kStar,
+                        TopoKind::kBoundedTree, TopoKind::kRandomTree,
+                        TopoKind::kRandomGraph, TopoKind::kTreeOfLans}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      for (double loss : {0.1, 0.3}) {
+        cases.push_back(ConvergenceCase{kind, seed, loss});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, ConvergenceTest, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<ConvergenceCase>& info) {
+      return kind_name(info.param.kind) + "_seed" +
+             std::to_string(info.param.seed) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss_rate * 100));
+    });
+
+}  // namespace
+}  // namespace srm

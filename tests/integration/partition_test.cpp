@@ -1,0 +1,128 @@
+// Network partition and healing (Sec. III-D): "During a partition, members
+// can continue to send data in the connected components of the partitions.
+// After recovery all data will still have unique names and the repair
+// mechanism will distribute any new state throughout the entire group."
+//
+// A partition is modelled as a drop policy black-holing every packet
+// crossing one link; healing removes the policy.  Session messages after
+// the heal reveal the state each side missed and the request/repair
+// machinery redistributes it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/session.h"
+#include "net/drop_policy.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm {
+namespace {
+
+// Drops everything crossing the given undirected link.
+class PartitionDrop final : public net::DropPolicy {
+ public:
+  PartitionDrop(net::NodeId a, net::NodeId b) : a_(a), b_(b) {}
+  bool should_drop(const net::Packet&, const net::HopContext& hop) override {
+    return (hop.from == a_ && hop.to == b_) ||
+           (hop.from == b_ && hop.to == a_);
+  }
+
+ private:
+  net::NodeId a_, b_;
+};
+
+std::vector<net::NodeId> all_nodes(std::size_t n) {
+  std::vector<net::NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+  return v;
+}
+
+SrmConfig cfg() {
+  SrmConfig c;
+  c.timers = TimerParams{1.0, 1.0, 1.0, 1.0};
+  c.backoff_factor = 3.0;
+  return c;
+}
+
+class PartitionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionTest, BothSidesConvergeAfterHeal) {
+  const std::uint64_t seed = GetParam();
+  harness::SimSession s(topo::make_chain(8), all_nodes(8), {cfg(), seed, 1});
+  const PageId page_left{1, 0};   // member 1 sends on the left side
+  const PageId page_right{6, 0};  // member 6 sends on the right side
+  s.for_each_agent([&](SrmAgent& a) { a.set_current_page(page_left); });
+
+  // Pre-partition traffic everyone sees.
+  s.agent_at(1).send_data(page_left, {0});
+  s.agent_at(6).send_data(page_right, {0});
+  s.queue().run();
+
+  // Partition between 3 and 4.
+  s.network().set_drop_policy(std::make_shared<PartitionDrop>(3, 4));
+  for (int i = 1; i <= 4; ++i) {
+    s.agent_at(1).send_data(page_left, {static_cast<uint8_t>(i)});
+    s.agent_at(6).send_data(page_right, {static_cast<uint8_t>(i)});
+    s.queue().run();
+  }
+  // During the partition: each side has its own data, not the other's.
+  EXPECT_TRUE(s.agent_at(2).has_data(DataName{1, page_left, 4}));
+  EXPECT_FALSE(s.agent_at(2).has_data(DataName{6, page_right, 4}));
+  EXPECT_TRUE(s.agent_at(5).has_data(DataName{6, page_right, 4}));
+  EXPECT_FALSE(s.agent_at(5).has_data(DataName{1, page_left, 4}));
+
+  // Note: members on each side abandoned recovery of the other side's data
+  // only if they ever learned of it; requests crossing the partition were
+  // all black-holed, so some recovery state may have been abandoned.  The
+  // heal must still converge because session messages re-reveal the state.
+  s.network().set_drop_policy(nullptr);
+
+  // Session messages for each page, a few rounds each way.
+  for (const PageId& page : {page_left, page_right}) {
+    s.for_each_agent([&](SrmAgent& a) { a.set_current_page(page); });
+    for (int round = 0; round < 4; ++round) {
+      s.for_each_agent([&](SrmAgent& a) {
+        a.send_session_message();
+        s.queue().run();
+      });
+    }
+  }
+
+  for (net::NodeId m = 0; m < 8; ++m) {
+    for (SeqNo q = 0; q <= 4; ++q) {
+      EXPECT_TRUE(s.agent_at(m).has_data(DataName{1, page_left, q}))
+          << "member " << m << " left seq " << q;
+      EXPECT_TRUE(s.agent_at(m).has_data(DataName{6, page_right, q}))
+          << "member " << m << " right seq " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionTest,
+                         ::testing::Values(1u, 7u, 23u, 99u));
+
+TEST(PartitionTest, DepartedMemberDataStillRepairable) {
+  // A member sends data and leaves; SRM does not distinguish departure from
+  // partition, and any member holding the data can still answer requests.
+  harness::SimSession s(topo::make_chain(5), {0, 1, 2, 3}, {cfg(), 5, 1});
+  const PageId page{0, 0};
+  s.for_each_agent([&](SrmAgent& a) { a.set_current_page(page); });
+  s.agent_at(0).send_data(page, {42});
+  s.queue().run();
+  s.agent_at(0).stop();  // the source departs
+
+  // A late joiner at node 4 still recovers the departed member's data.
+  SrmConfig late_cfg = cfg();
+  SrmAgent late(s.network(), s.directory(), 4, 4, 1, late_cfg,
+                util::Rng(55));
+  late.start();
+  late.set_current_page(page);
+  s.agent_at(3).send_session_message();
+  s.queue().run();
+  EXPECT_TRUE(late.has_data(DataName{0, page, 0}));
+  late.stop();
+}
+
+}  // namespace
+}  // namespace srm

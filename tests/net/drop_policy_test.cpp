@@ -1,0 +1,143 @@
+#include "net/drop_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace srm::net {
+namespace {
+
+class Tagged : public Message {
+ public:
+  explicit Tagged(int tag) : tag_(tag) {}
+  int tag() const { return tag_; }
+  std::string describe() const override { return "tagged"; }
+
+ private:
+  int tag_;
+};
+
+Packet packet_with_tag(int tag) {
+  Packet p;
+  p.payload = std::make_shared<Tagged>(tag);
+  return p;
+}
+
+bool tag_is(const Packet& p, int tag) {
+  const auto* t = dynamic_cast<const Tagged*>(p.payload.get());
+  return t != nullptr && t->tag() == tag;
+}
+
+TEST(NoDropTest, NeverDrops) {
+  NoDrop nd;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(nd.should_drop(packet_with_tag(i), HopContext{0, 1, 2}));
+  }
+}
+
+TEST(ScriptedLinkDropTest, DropsOnlyMatchingLinkDirection) {
+  ScriptedLinkDrop d(1, 2, [](const Packet& p) { return tag_is(p, 7); });
+  // Wrong direction: not dropped.
+  EXPECT_FALSE(d.should_drop(packet_with_tag(7), HopContext{0, 2, 1}));
+  // Wrong link: not dropped.
+  EXPECT_FALSE(d.should_drop(packet_with_tag(7), HopContext{0, 3, 4}));
+  // Wrong payload: not dropped.
+  EXPECT_FALSE(d.should_drop(packet_with_tag(8), HopContext{0, 1, 2}));
+  // Match: dropped.
+  EXPECT_TRUE(d.should_drop(packet_with_tag(7), HopContext{0, 1, 2}));
+  EXPECT_EQ(d.drops_so_far(), 1u);
+}
+
+TEST(ScriptedLinkDropTest, HonorsMaxDrops) {
+  ScriptedLinkDrop d(0, 1, [](const Packet&) { return true; },
+                     /*max_drops=*/2);
+  EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_EQ(d.drops_so_far(), 2u);
+}
+
+TEST(ScriptedLinkDropTest, RearmResets) {
+  ScriptedLinkDrop d(0, 1, [](const Packet&) { return true; });
+  EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  d.rearm();
+  EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+}
+
+TEST(ScriptedLinkDropTest, RejectsNullPredicate) {
+  EXPECT_THROW(ScriptedLinkDrop(0, 1, nullptr), std::invalid_argument);
+}
+
+TEST(RandomDropTest, RateZeroNeverDrops) {
+  RandomDrop d(0.0, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  }
+}
+
+TEST(RandomDropTest, RateOneAlwaysDrops) {
+  RandomDrop d(1.0, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  }
+}
+
+TEST(RandomDropTest, ApproximatesRate) {
+  RandomDrop d(0.3, util::Rng(42));
+  int drops = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) ++drops;
+  }
+  EXPECT_NEAR(drops / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomDropTest, RestrictToLimitsLink) {
+  RandomDrop d(1.0, util::Rng(1));
+  d.restrict_to(3, 4);
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 4, 3}));
+  EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 3, 4}));
+}
+
+TEST(RandomDropTest, PredicateFilters) {
+  RandomDrop d(1.0, util::Rng(1), [](const Packet& p) { return tag_is(p, 5); });
+  EXPECT_FALSE(d.should_drop(packet_with_tag(4), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.should_drop(packet_with_tag(5), HopContext{0, 0, 1}));
+}
+
+TEST(RandomDropTest, RejectsBadRate) {
+  EXPECT_THROW(RandomDrop(-0.1, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomDrop(1.1, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(CompositeDropTest, DropsIfAnyPolicyDrops) {
+  CompositeDrop c;
+  c.add(std::make_shared<NoDrop>());
+  c.add(std::make_shared<ScriptedLinkDrop>(0, 1,
+                                           [](const Packet&) { return true; }));
+  EXPECT_TRUE(c.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_FALSE(c.should_drop(packet_with_tag(0), HopContext{0, 1, 0}));
+}
+
+TEST(CompositeDropTest, AllPoliciesConsulted) {
+  CompositeDrop c;
+  auto a = std::make_shared<ScriptedLinkDrop>(
+      0, 1, [](const Packet&) { return true; });
+  auto b = std::make_shared<ScriptedLinkDrop>(
+      0, 1, [](const Packet&) { return true; });
+  c.add(a);
+  c.add(b);
+  c.should_drop(packet_with_tag(0), HopContext{0, 0, 1});
+  // Both stateful policies advanced even though the first already dropped.
+  EXPECT_EQ(a->drops_so_far(), 1u);
+  EXPECT_EQ(b->drops_so_far(), 1u);
+}
+
+TEST(CompositeDropTest, RejectsNull) {
+  CompositeDrop c;
+  EXPECT_THROW(c.add(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srm::net

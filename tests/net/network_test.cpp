@@ -1,0 +1,264 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "topo/builders.h"
+
+namespace srm::net {
+namespace {
+
+class TestMessage : public Message {
+ public:
+  explicit TestMessage(int tag = 0) : tag_(tag) {}
+  int tag() const { return tag_; }
+  std::string describe() const override { return "TEST"; }
+
+ private:
+  int tag_;
+};
+
+// Records every delivery.
+class Recorder : public PacketSink {
+ public:
+  struct Rx {
+    Packet packet;
+    DeliveryInfo info;
+    double at;
+  };
+  explicit Recorder(sim::EventQueue& q) : queue_(&q) {}
+  void on_receive(const Packet& p, const DeliveryInfo& i) override {
+    received.push_back(Rx{p, i, queue_->now()});
+  }
+  std::vector<Rx> received;
+
+ private:
+  sim::EventQueue* queue_;
+};
+
+Packet make_packet(GroupId g, int ttl = kMaxTtl) {
+  Packet p;
+  p.group = g;
+  p.ttl = ttl;
+  p.payload = std::make_shared<TestMessage>();
+  return p;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void build_chain(std::size_t n) {
+    topo_ = std::make_unique<Topology>(topo::make_chain(n));
+    net_ = std::make_unique<MulticastNetwork>(queue_, *topo_);
+    for (NodeId v = 0; v < n; ++v) {
+      sinks_.push_back(std::make_unique<Recorder>(queue_));
+      net_->attach(v, sinks_.back().get());
+    }
+  }
+  sim::EventQueue queue_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<MulticastNetwork> net_;
+  std::vector<std::unique_ptr<Recorder>> sinks_;
+};
+
+TEST_F(NetworkTest, MulticastReachesAllMembersExceptSender) {
+  build_chain(5);
+  for (NodeId v = 0; v < 5; ++v) net_->join(1, v);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_TRUE(sinks_[0]->received.empty());  // no loopback
+  for (NodeId v = 1; v < 5; ++v) {
+    ASSERT_EQ(sinks_[v]->received.size(), 1u) << "node " << v;
+    EXPECT_DOUBLE_EQ(sinks_[v]->received[0].info.path_delay,
+                     static_cast<double>(v));
+    EXPECT_EQ(sinks_[v]->received[0].info.hops, static_cast<int>(v));
+  }
+}
+
+TEST_F(NetworkTest, NonMembersDoNotReceive) {
+  build_chain(4);
+  net_->join(1, 0);
+  net_->join(1, 3);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_TRUE(sinks_[1]->received.empty());
+  EXPECT_TRUE(sinks_[2]->received.empty());
+  EXPECT_EQ(sinks_[3]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, GroupsAreIsolated) {
+  build_chain(3);
+  net_->join(1, 1);
+  net_->join(2, 2);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_EQ(sinks_[1]->received.size(), 1u);
+  EXPECT_TRUE(sinks_[2]->received.empty());
+}
+
+TEST_F(NetworkTest, LeaveStopsDelivery) {
+  build_chain(3);
+  net_->join(1, 2);
+  net_->leave(1, 2);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_TRUE(sinks_[2]->received.empty());
+}
+
+TEST_F(NetworkTest, MembershipQueries) {
+  build_chain(3);
+  net_->join(9, 1);
+  net_->join(9, 0);
+  EXPECT_TRUE(net_->is_member(9, 1));
+  EXPECT_FALSE(net_->is_member(9, 2));
+  EXPECT_EQ(net_->members(9), (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(net_->members(77).empty());
+}
+
+TEST_F(NetworkTest, TtlLimitsReach) {
+  build_chain(6);
+  for (NodeId v = 0; v < 6; ++v) net_->join(1, v);
+  net_->multicast(0, make_packet(1, /*ttl=*/2));
+  queue_.run();
+  EXPECT_EQ(sinks_[1]->received.size(), 1u);
+  EXPECT_EQ(sinks_[2]->received.size(), 1u);
+  EXPECT_TRUE(sinks_[3]->received.empty());
+  EXPECT_EQ(sinks_[2]->received[0].info.remaining_ttl, 0);
+}
+
+TEST_F(NetworkTest, LinkThresholdBlocksLowTtl) {
+  // Chain 0-1-2 where link (1,2) has threshold 10.
+  topo_ = std::make_unique<Topology>(3);
+  topo_->add_link(0, 1, 1.0, 1);
+  topo_->add_link(1, 2, 1.0, 10);
+  net_ = std::make_unique<MulticastNetwork>(queue_, *topo_);
+  for (NodeId v = 0; v < 3; ++v) {
+    sinks_.push_back(std::make_unique<Recorder>(queue_));
+    net_->attach(v, sinks_.back().get());
+    net_->join(1, v);
+  }
+  net_->multicast(0, make_packet(1, /*ttl=*/5));
+  queue_.run();
+  EXPECT_EQ(sinks_[1]->received.size(), 1u);
+  EXPECT_TRUE(sinks_[2]->received.empty());  // 5 - 1 hop = 4 < threshold 10
+
+  net_->multicast(0, make_packet(1, /*ttl=*/11));
+  queue_.run();
+  EXPECT_EQ(sinks_[2]->received.size(), 1u);  // 11 - 1 = 10 >= 10
+}
+
+TEST_F(NetworkTest, AdminScopeConfinedToRegion) {
+  build_chain(4);
+  topo_->set_admin_region(0, 1);
+  topo_->set_admin_region(1, 1);
+  topo_->set_admin_region(2, 2);
+  topo_->set_admin_region(3, 2);
+  for (NodeId v = 0; v < 4; ++v) net_->join(1, v);
+  Packet p = make_packet(1);
+  p.scope = Scope::kAdmin;
+  net_->multicast(0, p);
+  queue_.run();
+  EXPECT_EQ(sinks_[1]->received.size(), 1u);
+  EXPECT_TRUE(sinks_[2]->received.empty());
+  EXPECT_TRUE(sinks_[3]->received.empty());
+}
+
+TEST_F(NetworkTest, DropPrunesSubtree) {
+  build_chain(5);
+  for (NodeId v = 0; v < 5; ++v) net_->join(1, v);
+  auto drop = std::make_shared<ScriptedLinkDrop>(
+      2, 3, [](const Packet&) { return true; });
+  net_->set_drop_policy(drop);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_EQ(sinks_[1]->received.size(), 1u);
+  EXPECT_EQ(sinks_[2]->received.size(), 1u);
+  EXPECT_TRUE(sinks_[3]->received.empty());
+  EXPECT_TRUE(sinks_[4]->received.empty());  // pruned below the drop
+  EXPECT_EQ(net_->stats().drops, 1u);
+}
+
+TEST_F(NetworkTest, UnicastFollowsShortestPath) {
+  build_chain(4);
+  net_->multicast(0, make_packet(1));  // no members: no deliveries
+  net_->unicast(0, 3, make_packet(1));
+  queue_.run();
+  ASSERT_EQ(sinks_[3]->received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sinks_[3]->received[0].info.path_delay, 3.0);
+  EXPECT_EQ(net_->stats().unicasts_sent, 1u);
+}
+
+TEST_F(NetworkTest, UnicastSubjectToDrops) {
+  build_chain(4);
+  auto drop = std::make_shared<ScriptedLinkDrop>(
+      1, 2, [](const Packet&) { return true; });
+  net_->set_drop_policy(drop);
+  net_->unicast(0, 3, make_packet(1));
+  queue_.run();
+  EXPECT_TRUE(sinks_[3]->received.empty());
+}
+
+TEST_F(NetworkTest, DeliveryTimingMatchesLinkDelays) {
+  topo_ = std::make_unique<Topology>(3);
+  topo_->add_link(0, 1, 1.5);
+  topo_->add_link(1, 2, 2.5);
+  net_ = std::make_unique<MulticastNetwork>(queue_, *topo_);
+  for (NodeId v = 0; v < 3; ++v) {
+    sinks_.push_back(std::make_unique<Recorder>(queue_));
+    net_->attach(v, sinks_.back().get());
+    net_->join(1, v);
+  }
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_DOUBLE_EQ(sinks_[1]->received[0].at, 1.5);
+  EXPECT_DOUBLE_EQ(sinks_[2]->received[0].at, 4.0);
+}
+
+TEST_F(NetworkTest, MembershipChangeInvalidatesPrunedTree) {
+  build_chain(4);
+  net_->join(1, 1);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_TRUE(sinks_[3]->received.empty());
+  net_->join(1, 3);  // membership change must rebuild the pruned tree
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_EQ(sinks_[3]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ObserversSeeTraffic) {
+  build_chain(3);
+  net_->join(1, 2);
+  int sends = 0, deliveries = 0;
+  net_->set_send_observer([&](NodeId, const Packet&) { ++sends; });
+  net_->set_delivery_observer(
+      [&](const Packet&, const DeliveryInfo&) { ++deliveries; });
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(NetworkTest, StatsCountLinkTransmissions) {
+  build_chain(5);
+  net_->join(1, 4);
+  net_->reset_stats();
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  // Only the path 0->4 is traversed (member-pruned tree): 4 link hops.
+  EXPECT_EQ(net_->stats().link_transmissions, 4u);
+  EXPECT_EQ(net_->stats().deliveries, 1u);
+}
+
+TEST_F(NetworkTest, AttachRejectsDuplicates) {
+  build_chain(2);
+  Recorder extra(queue_);
+  EXPECT_THROW(net_->attach(0, &extra), std::logic_error);
+  net_->detach(0);
+  net_->attach(0, &extra);  // now fine
+}
+
+}  // namespace
+}  // namespace srm::net

@@ -1,0 +1,158 @@
+// Interactions between the scoping mechanisms: TTL limits, link thresholds,
+// administrative regions, drop policies, and multiple groups — each prunes
+// the delivery tree independently and the composition must behave.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.h"
+#include "topo/builders.h"
+
+namespace srm::net {
+namespace {
+
+class CountingSink : public PacketSink {
+ public:
+  void on_receive(const Packet&, const DeliveryInfo& info) override {
+    ++count;
+    last = info;
+  }
+  int count = 0;
+  DeliveryInfo last;
+};
+
+class ScopingTest : public ::testing::Test {
+ protected:
+  void build(Topology topo) {
+    topo_ = std::make_unique<Topology>(std::move(topo));
+    net_ = std::make_unique<MulticastNetwork>(queue_, *topo_);
+    sinks_.resize(topo_->node_count());
+    for (NodeId v = 0; v < topo_->node_count(); ++v) {
+      net_->attach(v, &sinks_[v]);
+    }
+  }
+  class Msg : public Message {
+   public:
+    std::string describe() const override { return "m"; }
+  };
+  Packet packet(GroupId g, int ttl = kMaxTtl,
+                Scope scope = Scope::kGlobal) {
+    Packet p;
+    p.group = g;
+    p.ttl = ttl;
+    p.scope = scope;
+    p.payload = std::make_shared<Msg>();
+    return p;
+  }
+  sim::EventQueue queue_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<MulticastNetwork> net_;
+  std::deque<CountingSink> sinks_;
+};
+
+TEST_F(ScopingTest, TtlAndAdminScopeComposeAsIntersection) {
+  // Chain of 6 in two admin regions split at link (2,3).  A TTL-4,
+  // admin-scoped packet from node 0 reaches only nodes within BOTH 4 hops
+  // AND region 0 (nodes 1, 2).
+  auto topo = topo::make_chain(6);
+  for (NodeId v = 0; v < 3; ++v) topo.set_admin_region(v, 0);
+  for (NodeId v = 3; v < 6; ++v) topo.set_admin_region(v, 1);
+  build(std::move(topo));
+  for (NodeId v = 0; v < 6; ++v) net_->join(1, v);
+  net_->multicast(0, packet(1, /*ttl=*/4, Scope::kAdmin));
+  queue_.run();
+  EXPECT_EQ(sinks_[1].count, 1);
+  EXPECT_EQ(sinks_[2].count, 1);
+  for (NodeId v = 3; v < 6; ++v) EXPECT_EQ(sinks_[v].count, 0) << v;
+}
+
+TEST_F(ScopingTest, ThresholdInsideTtlRange) {
+  // Threshold-3 link at (1,2): TTL 5 crosses it (4 >= 3 at node 1), but a
+  // TTL-3 packet cannot (2 < 3 at node 1), even though 3 hops of plain TTL
+  // would reach node 3.
+  Topology topo(4);
+  topo.add_link(0, 1, 1.0, 1);
+  topo.add_link(1, 2, 1.0, 3);
+  topo.add_link(2, 3, 1.0, 1);
+  build(std::move(topo));
+  for (NodeId v = 0; v < 4; ++v) net_->join(1, v);
+  net_->multicast(0, packet(1, /*ttl=*/3));
+  queue_.run();
+  EXPECT_EQ(sinks_[1].count, 1);
+  EXPECT_EQ(sinks_[2].count, 0);
+  net_->multicast(0, packet(1, /*ttl=*/5));
+  queue_.run();
+  EXPECT_EQ(sinks_[2].count, 1);
+  EXPECT_EQ(sinks_[3].count, 1);
+}
+
+TEST_F(ScopingTest, MultipleGroupsOneSink) {
+  // One sink per node receives traffic for every group the node joined,
+  // with the packet's group field distinguishing them.
+  build(topo::make_chain(3));
+  net_->join(1, 2);
+  net_->join(2, 2);
+  net_->multicast(0, packet(1));
+  net_->multicast(0, packet(2));
+  net_->multicast(0, packet(3));  // not joined
+  queue_.run();
+  EXPECT_EQ(sinks_[2].count, 2);
+}
+
+TEST_F(ScopingTest, SenderNeedNotBeMember) {
+  // IP multicast model: senders transmit to the group without joining it.
+  build(topo::make_chain(3));
+  net_->join(1, 2);
+  net_->multicast(0, packet(1));
+  queue_.run();
+  EXPECT_EQ(sinks_[2].count, 1);
+  EXPECT_EQ(sinks_[0].count, 0);
+}
+
+TEST_F(ScopingTest, DropPolicySeesOnlyTraversedHops) {
+  // With TTL already pruning the distal subtree, the drop policy must not
+  // be consulted for hops that are never attempted.
+  build(topo::make_chain(5));
+  for (NodeId v = 0; v < 5; ++v) net_->join(1, v);
+  struct Counting : DropPolicy {
+    int consulted = 0;
+    bool should_drop(const Packet&, const HopContext&) override {
+      ++consulted;
+      return false;
+    }
+  };
+  auto policy = std::make_shared<Counting>();
+  net_->set_drop_policy(policy);
+  net_->multicast(0, packet(1, /*ttl=*/2));
+  queue_.run();
+  EXPECT_EQ(policy->consulted, 2);  // hops 0-1 and 1-2 only
+}
+
+TEST_F(ScopingTest, RemainingTtlReported) {
+  build(topo::make_chain(4));
+  net_->join(1, 3);
+  net_->multicast(0, packet(1, /*ttl=*/7));
+  queue_.run();
+  ASSERT_EQ(sinks_[3].count, 1);
+  EXPECT_EQ(sinks_[3].last.remaining_ttl, 4);
+  EXPECT_EQ(sinks_[3].last.hops, 3);
+}
+
+TEST_F(ScopingTest, AdminScopeOnUnicastToo) {
+  auto topo = topo::make_chain(3);
+  topo.set_admin_region(0, 0);
+  topo.set_admin_region(1, 0);
+  topo.set_admin_region(2, 1);
+  build(std::move(topo));
+  Packet p = packet(1, kMaxTtl, Scope::kAdmin);
+  net_->unicast(0, 2, std::move(p));
+  queue_.run();
+  EXPECT_EQ(sinks_[2].count, 0);  // blocked at the region boundary
+  Packet q = packet(1, kMaxTtl, Scope::kGlobal);
+  net_->unicast(0, 2, std::move(q));
+  queue_.run();
+  EXPECT_EQ(sinks_[2].count, 1);
+}
+
+}  // namespace
+}  // namespace srm::net

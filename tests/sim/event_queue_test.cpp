@@ -1,0 +1,153 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace srm::sim {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(2.0, [&] {
+    q.schedule_after(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, RejectsPastAndNegative) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RejectsEmptyFunction) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, std::function<void()>{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());  // second cancel is a no-op
+  q.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule_at(1.0, [] {});
+  q.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  q.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  q.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  EXPECT_EQ(q.run_until(2.0), 2u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending_events(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueueTest, StopHaltsRun) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    q.schedule_at(i, [&] {
+      ++count;
+      if (count == 2) q.stop();
+    });
+  }
+  q.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.pending_events(), 3u);
+}
+
+TEST(EventQueueTest, RunStepsLimitsExecution) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    q.schedule_at(i, [&] { ++count; });
+  }
+  EXPECT_EQ(q.run_steps(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) q.schedule_after(1.0, recurse);
+  };
+  q.schedule_at(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(q.now(), 49.0);
+}
+
+TEST(EventQueueTest, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.schedule_at(6.0, [] {});
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueTest, CancelledEventsNotCounted) {
+  EventQueue q;
+  EventHandle h = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  h.cancel();
+  EXPECT_EQ(q.run(), 1u);
+}
+
+}  // namespace
+}  // namespace srm::sim

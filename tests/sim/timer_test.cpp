@@ -1,0 +1,109 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace srm::sim {
+namespace {
+
+TEST(TimerTest, FiresOnce) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  t.schedule_in(2.0);
+  EXPECT_TRUE(t.pending());
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(TimerTest, RescheduleReplacesPending) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  t.schedule_in(2.0);
+  t.schedule_in(5.0);  // supersedes the first
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(TimerTest, CancelStopsExpiry) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  t.schedule_in(1.0);
+  t.cancel();
+  q.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, ExpiryTimeAndRemaining) {
+  EventQueue q;
+  Timer t(q, [] {});
+  t.schedule_in(4.0);
+  EXPECT_DOUBLE_EQ(t.expiry_time(), 4.0);
+  EXPECT_DOUBLE_EQ(t.remaining(), 4.0);
+  q.run_until(1.0);
+  EXPECT_DOUBLE_EQ(t.remaining(), 3.0);
+}
+
+TEST(TimerTest, RemainingZeroWhenIdle) {
+  EventQueue q;
+  Timer t(q, [] {});
+  EXPECT_DOUBLE_EQ(t.remaining(), 0.0);
+}
+
+TEST(TimerTest, DestructorCancels) {
+  EventQueue q;
+  int fired = 0;
+  {
+    Timer t(q, [&] { ++fired; });
+    t.schedule_in(1.0);
+  }
+  q.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, SafeToDestroyFromOwnCallback) {
+  // Protocol state machines erase their own state (and its timer) on final
+  // expiry; the Timer contract allows destruction from inside the callback.
+  EventQueue q;
+  auto holder = std::make_shared<std::unique_ptr<Timer>>();
+  int fired = 0;
+  *holder = std::make_unique<Timer>(q, [&fired, holder] {
+    ++fired;
+    holder->reset();  // destroys the Timer that is currently firing
+  });
+  (*holder)->schedule_in(1.0);
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(holder->get(), nullptr);
+}
+
+TEST(TimerTest, RestartFromCallback) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] {
+    if (++fired < 3) t.schedule_in(1.0);
+  });
+  t.schedule_in(1.0);
+  q.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(LocalClockTest, AppliesOffset) {
+  EventQueue q;
+  LocalClock c(q, 100.0);
+  EXPECT_DOUBLE_EQ(c.now(), 100.0);
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_DOUBLE_EQ(c.now(), 105.0);
+  EXPECT_DOUBLE_EQ(c.offset(), 100.0);
+}
+
+}  // namespace
+}  // namespace srm::sim

@@ -1,0 +1,82 @@
+#include "srm/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace srm {
+namespace {
+
+TEST(MessagesTest, DataDescribeAndSize) {
+  auto payload = std::make_shared<const Payload>(Payload(100, 0x42));
+  DataMessage m(DataName{3, PageId{3, 1}, 7}, payload);
+  EXPECT_EQ(m.describe(), "DATA 3:3/p1:7");
+  EXPECT_EQ(m.size_bytes(), 132u);  // 32 header + 100 payload
+  EXPECT_EQ(m.payload(), payload);
+}
+
+TEST(MessagesTest, DataWithNullPayload) {
+  DataMessage m(DataName{1, PageId{1, 0}, 0}, nullptr);
+  EXPECT_EQ(m.size_bytes(), 32u);
+}
+
+TEST(MessagesTest, RequestCarriesDistanceAndTtl) {
+  RequestMessage m(DataName{2, PageId{2, 0}, 9}, /*requestor=*/5,
+                   /*dist=*/12.5, /*ttl=*/31);
+  EXPECT_EQ(m.requestor(), 5u);
+  EXPECT_DOUBLE_EQ(m.requestor_dist_to_source(), 12.5);
+  EXPECT_EQ(m.initial_ttl(), 31);
+  EXPECT_NE(m.describe().find("REQUEST"), std::string::npos);
+  EXPECT_NE(m.describe().find("by 5"), std::string::npos);
+}
+
+TEST(MessagesTest, RepairCarriesTwoStepFields) {
+  auto payload = std::make_shared<const Payload>(Payload{1});
+  RepairMessage m(DataName{1, PageId{1, 0}, 3}, payload, /*responder=*/8,
+                  /*first_requestor=*/4, /*dist=*/2.0, /*ttl=*/6,
+                  /*local_step_one=*/true);
+  EXPECT_EQ(m.responder(), 8u);
+  EXPECT_EQ(m.first_requestor(), 4u);
+  EXPECT_TRUE(m.local_step_one());
+  EXPECT_EQ(m.initial_ttl(), 6);
+  EXPECT_DOUBLE_EQ(m.responder_dist_to_requestor(), 2.0);
+}
+
+TEST(MessagesTest, SessionStateAndEchoes) {
+  SessionMessage::StateReport state;
+  state[StreamKey{1, PageId{1, 0}}] = 42;
+  std::map<SourceId, SessionMessage::Echo> echoes;
+  echoes[7] = SessionMessage::Echo{10.0, 3.0};
+  SessionMessage m(/*sender=*/9, /*timestamp=*/123.0, state, echoes);
+  EXPECT_EQ(m.sender(), 9u);
+  EXPECT_DOUBLE_EQ(m.sender_timestamp(), 123.0);
+  EXPECT_EQ(m.state().at(StreamKey{1, PageId{1, 0}}), 42u);
+  EXPECT_DOUBLE_EQ(m.echoes().at(7).peer_timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(m.echoes().at(7).hold_time, 3.0);
+}
+
+TEST(MessagesTest, SessionSizeGrowsWithContent) {
+  SessionMessage empty(1, 0.0, {}, {});
+  SessionMessage::StateReport state;
+  for (SourceId s = 0; s < 10; ++s) state[StreamKey{s, PageId{s, 0}}] = s;
+  SessionMessage full(1, 0.0, state, {});
+  EXPECT_GT(full.size_bytes(), empty.size_bytes());
+}
+
+TEST(MessagesTest, PolymorphicDispatchViaBasePointer) {
+  // The network stores MessagePtr (shared_ptr<const Message>); agents
+  // dispatch with dynamic_cast.  Verify each type round-trips.
+  std::vector<net::MessagePtr> msgs;
+  msgs.push_back(std::make_shared<DataMessage>(DataName{}, nullptr));
+  msgs.push_back(std::make_shared<RequestMessage>(DataName{}, 0, 0.0, 1));
+  msgs.push_back(
+      std::make_shared<RepairMessage>(DataName{}, nullptr, 0, 0, 0.0, 1));
+  msgs.push_back(std::make_shared<SessionMessage>(
+      0, 0.0, SessionMessage::StateReport{}, std::map<SourceId, SessionMessage::Echo>{}));
+  EXPECT_NE(dynamic_cast<const DataMessage*>(msgs[0].get()), nullptr);
+  EXPECT_EQ(dynamic_cast<const DataMessage*>(msgs[1].get()), nullptr);
+  EXPECT_NE(dynamic_cast<const RequestMessage*>(msgs[1].get()), nullptr);
+  EXPECT_NE(dynamic_cast<const RepairMessage*>(msgs[2].get()), nullptr);
+  EXPECT_NE(dynamic_cast<const SessionMessage*>(msgs[3].get()), nullptr);
+}
+
+}  // namespace
+}  // namespace srm

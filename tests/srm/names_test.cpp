@@ -1,0 +1,61 @@
+#include "srm/names.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace srm {
+namespace {
+
+TEST(NamesTest, EqualityAndOrdering) {
+  const DataName a{1, PageId{1, 0}, 5};
+  const DataName b{1, PageId{1, 0}, 5};
+  const DataName c{1, PageId{1, 0}, 6};
+  const DataName d{2, PageId{1, 0}, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+}
+
+TEST(NamesTest, PageIdentityIncludesCreator) {
+  const PageId p1{1, 0};
+  const PageId p2{2, 0};
+  EXPECT_NE(p1, p2);  // same number, different creator: different page
+}
+
+TEST(NamesTest, HashDistinguishesFields) {
+  std::unordered_set<DataName> set;
+  for (SourceId s = 0; s < 10; ++s) {
+    for (SeqNo q = 0; q < 10; ++q) {
+      set.insert(DataName{s, PageId{s, 0}, q});
+    }
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(NamesTest, StreamKeyGroupsBySourceAndPage) {
+  const DataName a{1, PageId{9, 2}, 5};
+  const DataName b{1, PageId{9, 2}, 77};
+  const DataName c{1, PageId{9, 3}, 5};
+  EXPECT_EQ(stream_of(a), stream_of(b));
+  EXPECT_NE(stream_of(a), stream_of(c));
+}
+
+TEST(NamesTest, ToStringIsReadable) {
+  const DataName n{3, PageId{3, 1}, 42};
+  EXPECT_EQ(to_string(n), "3:3/p1:42");
+  EXPECT_EQ(to_string(PageId{7, 2}), "7/p2");
+}
+
+TEST(NamesTest, StreamKeyHashUsable) {
+  std::unordered_set<StreamKey> set;
+  set.insert(StreamKey{1, PageId{1, 0}});
+  set.insert(StreamKey{1, PageId{1, 1}});
+  set.insert(StreamKey{2, PageId{1, 0}});
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace srm

@@ -1,0 +1,142 @@
+// Tests for the page-state recovery protocol (Sec. III-A): page requests,
+// suppressible page replies, list-of-pages discovery, and the follow-on
+// data recovery they trigger.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/session.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm {
+namespace {
+
+std::vector<net::NodeId> all_nodes(std::size_t n) {
+  std::vector<net::NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+  return v;
+}
+
+SrmConfig cfg() {
+  SrmConfig cfg;
+  cfg.timers = TimerParams{1.0, 1.0, 1.0, 1.0};
+  return cfg;
+}
+
+TEST(PageStateTest, PageRequestRecoversWholePage) {
+  harness::SimSession s(topo::make_chain(4), all_nodes(4), {cfg(), 1, 1});
+  const PageId page{0, 7};
+  // History exists only at members 0-2 (member 3 was "browsing elsewhere":
+  // seed everyone but node 3).
+  for (SeqNo q = 0; q < 5; ++q) {
+    const DataName n{0, page, q};
+    for (net::NodeId m = 0; m < 3; ++m) {
+      s.agent_at(m).seed_data(n, {static_cast<uint8_t>(q)});
+    }
+  }
+  // Member 3 knows the page exists (say, from an old session message) and
+  // asks for its state.
+  s.agent_at(3).request_page_state(page);
+  s.queue().run();
+  for (SeqNo q = 0; q < 5; ++q) {
+    EXPECT_TRUE(s.agent_at(3).has_data(DataName{0, page, q})) << q;
+  }
+  EXPECT_EQ(s.agent_at(3).metrics().recoveries, 5u);
+}
+
+TEST(PageStateTest, RepliesAreSuppressed) {
+  // All of members 0..3 can answer; the reply timers must collapse to few
+  // (usually one) actual replies.
+  harness::SimSession s(topo::make_chain(6), all_nodes(6), {cfg(), 2, 1});
+  const PageId page{0, 1};
+  for (net::NodeId m = 0; m < 5; ++m) {
+    s.agent_at(m).seed_data(DataName{0, page, 0}, {1});
+  }
+  std::size_t replies = 0;
+  s.network().set_send_observer([&](net::NodeId, const net::Packet& p) {
+    if (dynamic_cast<const PageReplyMessage*>(p.payload.get())) ++replies;
+  });
+  s.agent_at(5).request_page_state(page);
+  s.queue().run();
+  EXPECT_GE(replies, 1u);
+  EXPECT_LE(replies, 2u);
+  EXPECT_TRUE(s.agent_at(5).has_data(DataName{0, page, 0}));
+}
+
+TEST(PageStateTest, MembersWithoutStateStaySilent) {
+  harness::SimSession s(topo::make_chain(3), all_nodes(3), {cfg(), 3, 1});
+  const PageId page{9, 9};  // nobody has ever heard of it
+  std::size_t replies = 0;
+  s.network().set_send_observer([&](net::NodeId, const net::Packet& p) {
+    if (dynamic_cast<const PageReplyMessage*>(p.payload.get())) ++replies;
+  });
+  s.agent_at(0).request_page_state(page);
+  s.queue().run();
+  EXPECT_EQ(replies, 0u);
+}
+
+TEST(PageStateTest, ListRequestDiscoversPages) {
+  harness::SimSession s(topo::make_chain(3), all_nodes(3), {cfg(), 4, 1});
+  const PageId pa{0, 0}, pb{1, 3};
+  s.agent_at(0).seed_data(DataName{0, pa, 0}, {1});
+  s.agent_at(0).seed_data(DataName{1, pb, 0}, {2});
+
+  std::vector<PageId> learned;
+  SrmAgent::AppHooks hooks;
+  hooks.on_page_list = [&](const std::vector<PageId>& pages) {
+    learned = pages;
+  };
+  s.agent_at(2).set_app_hooks(std::move(hooks));
+  s.agent_at(2).request_page_state(std::nullopt);
+  s.queue().run();
+  ASSERT_EQ(learned.size(), 2u);
+  EXPECT_EQ(learned[0], pa);
+  EXPECT_EQ(learned[1], pb);
+  // The agent itself remembers them too.
+  EXPECT_EQ(s.agent_at(2).known_pages().size(), 2u);
+}
+
+TEST(PageStateTest, LateJoinerBrowsesFullHistory) {
+  // The complete late-join flow the paper sketches: ask for the page list,
+  // then pull each page's state, and end up with every ADU.
+  harness::SimSession s(topo::make_chain(4), {0, 1, 2}, {cfg(), 5, 1});
+  const PageId p0{0, 0}, p1{0, 1};
+  for (int i = 0; i < 3; ++i) s.agent_at(0).send_data(p0, {1});
+  for (int i = 0; i < 2; ++i) s.agent_at(0).send_data(p1, {2});
+  s.queue().run();
+
+  SrmAgent late(s.network(), s.directory(), 3, 3, 1, cfg(), util::Rng(77));
+  late.start();
+  std::vector<PageId> pages;
+  SrmAgent::AppHooks hooks;
+  hooks.on_page_list = [&](const std::vector<PageId>& p) { pages = p; };
+  late.set_app_hooks(std::move(hooks));
+  late.request_page_state(std::nullopt);
+  s.queue().run();
+  ASSERT_EQ(pages.size(), 2u);
+  for (const PageId& p : pages) {
+    late.request_page_state(p);
+    s.queue().run();
+  }
+  for (SeqNo q = 0; q < 3; ++q) {
+    EXPECT_TRUE(late.has_data(DataName{0, p0, q})) << q;
+  }
+  for (SeqNo q = 0; q < 2; ++q) {
+    EXPECT_TRUE(late.has_data(DataName{0, p1, q})) << q;
+  }
+  late.stop();
+}
+
+TEST(PageStateTest, KnownPagesTracksAllEvidence) {
+  harness::SimSession s(topo::make_chain(2), all_nodes(2), {cfg(), 6, 1});
+  EXPECT_TRUE(s.agent_at(1).known_pages().empty());
+  s.agent_at(0).send_data(PageId{0, 4}, {1});
+  s.queue().run();
+  const auto pages = s.agent_at(1).known_pages();
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0], (PageId{0, 4}));
+}
+
+}  // namespace
+}  // namespace srm

@@ -1,0 +1,60 @@
+#include "srm/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace srm {
+namespace {
+
+RateLimitConfig cfg(double rate, double depth) {
+  RateLimitConfig c;
+  c.enabled = true;
+  c.tokens_per_second = rate;
+  c.bucket_depth = depth;
+  return c;
+}
+
+TEST(RateLimiterTest, StartsFull) {
+  RateLimiter rl(cfg(100.0, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(rl.tokens(0.0), 500.0);
+  EXPECT_TRUE(rl.try_consume(500.0, 0.0));
+  EXPECT_FALSE(rl.try_consume(1.0, 0.0));
+}
+
+TEST(RateLimiterTest, RefillsAtRate) {
+  RateLimiter rl(cfg(100.0, 500.0), 0.0);
+  ASSERT_TRUE(rl.try_consume(500.0, 0.0));
+  EXPECT_FALSE(rl.try_consume(100.0, 0.5));  // only 50 back
+  EXPECT_TRUE(rl.try_consume(100.0, 1.0));   // 100 back by t=1
+}
+
+TEST(RateLimiterTest, CapsAtDepth) {
+  RateLimiter rl(cfg(100.0, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(rl.tokens(100.0), 500.0);  // never exceeds depth
+}
+
+TEST(RateLimiterTest, DelayUntilAvailable) {
+  RateLimiter rl(cfg(100.0, 500.0), 0.0);
+  ASSERT_TRUE(rl.try_consume(500.0, 0.0));
+  EXPECT_DOUBLE_EQ(rl.delay_until_available(200.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(rl.delay_until_available(200.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rl.delay_until_available(200.0, 2.0), 0.0);
+}
+
+TEST(RateLimiterTest, OversizedSendAdmittedAtFullBucket) {
+  RateLimiter rl(cfg(100.0, 500.0), 0.0);
+  ASSERT_TRUE(rl.try_consume(500.0, 0.0));
+  // A 10000-byte send can never accumulate 10000 tokens; it is admitted
+  // when the bucket fills (depth / rate = 5 s away).
+  EXPECT_DOUBLE_EQ(rl.delay_until_available(10000.0, 0.0), 5.0);
+}
+
+TEST(RateLimiterTest, TimeNeverRunsBackward) {
+  RateLimiter rl(cfg(100.0, 500.0), 10.0);
+  ASSERT_TRUE(rl.try_consume(500.0, 10.0));
+  // A query with an older timestamp must not un-refill or crash.
+  EXPECT_FALSE(rl.try_consume(1.0, 5.0));
+  EXPECT_TRUE(rl.try_consume(100.0, 11.0));
+}
+
+}  // namespace
+}  // namespace srm

@@ -1,0 +1,166 @@
+// Tests for hierarchical session messages (Sec. IX-A).
+#include "srm/session_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/session.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm {
+namespace {
+
+std::vector<net::NodeId> all_nodes(std::size_t n) {
+  std::vector<net::NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+  return v;
+}
+
+struct HierWorld {
+  HierWorld(net::Topology topo, std::vector<net::NodeId> members,
+            HierarchyConfig hcfg, std::uint64_t seed)
+      : session(std::move(topo), std::move(members), {SrmConfig{}, seed, 1}) {
+    util::Rng rng(seed ^ 0x5E55);
+    session.for_each_agent([&](SrmAgent& a) {
+      hierarchies.push_back(
+          std::make_unique<SessionHierarchy>(a, hcfg, rng.fork()));
+      hierarchies.back()->start();
+    });
+  }
+  harness::SimSession session;
+  std::vector<std::unique_ptr<SessionHierarchy>> hierarchies;
+};
+
+TEST(SessionHierarchyTest, LowestIdBecomesLocalRepresentative) {
+  // Two clusters of 4 members each, joined by a long path of non-member
+  // routers.  local_ttl = 3 covers a cluster but not the far one.
+  net::Topology topo(0);
+  for (int i = 0; i < 16; ++i) topo.add_node();
+  // Cluster A: 0-1-2-3 around hub? simple chain 0-1-2-3.
+  topo.add_link(0, 1);
+  topo.add_link(1, 2);
+  topo.add_link(2, 3);
+  // Long path 3-8-9-10-11-4 through routers 8..11.
+  topo.add_link(3, 8);
+  topo.add_link(8, 9);
+  topo.add_link(9, 10);
+  topo.add_link(10, 11);
+  topo.add_link(11, 4);
+  // Cluster B: 4-5-6-7.
+  topo.add_link(4, 5);
+  topo.add_link(5, 6);
+  topo.add_link(6, 7);
+
+  HierarchyConfig hcfg;
+  hcfg.local_ttl = 3;
+  hcfg.report_interval = 5.0;
+  HierWorld w(std::move(topo), {0, 1, 2, 3, 4, 5, 6, 7}, hcfg, 3);
+
+  w.session.queue().run_until(100.0);
+  // Cluster A (members 0..3): representative 0.  Cluster B (4..7): rep 4.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.hierarchies[i]->representative(), 0u) << i;
+  }
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(w.hierarchies[i]->representative(), 4u) << i;
+  }
+  EXPECT_TRUE(w.hierarchies[0]->is_representative());
+  EXPECT_FALSE(w.hierarchies[1]->is_representative());
+  EXPECT_TRUE(w.hierarchies[4]->is_representative());
+}
+
+TEST(SessionHierarchyTest, OnlyRepresentativesReportGlobally) {
+  auto topo = topo::make_chain(6);
+  HierarchyConfig hcfg;
+  hcfg.local_ttl = 10;  // one area: everyone local to everyone
+  hcfg.report_interval = 5.0;
+  HierWorld w(std::move(topo), all_nodes(6), hcfg, 4);
+  w.session.queue().run_until(100.0);
+  EXPECT_GT(w.hierarchies[0]->global_reports_sent(), 0u);
+  for (int i = 1; i < 6; ++i) {
+    // Non-representatives may have sent an early global report before they
+    // first heard member 0, but must settle to local-only.
+    EXPECT_GT(w.hierarchies[i]->local_reports_sent(), 0u) << i;
+    EXPECT_LE(w.hierarchies[i]->global_reports_sent(), 3u) << i;
+  }
+}
+
+TEST(SessionHierarchyTest, RepresentativeFailureHealsByStaleness) {
+  auto topo = topo::make_chain(4);
+  HierarchyConfig hcfg;
+  hcfg.local_ttl = 10;
+  hcfg.report_interval = 5.0;
+  HierWorld w(std::move(topo), all_nodes(4), hcfg, 5);
+  w.session.queue().run_until(60.0);
+  EXPECT_EQ(w.hierarchies[1]->representative(), 0u);
+
+  // Member 0 leaves; after the staleness horizon member 1 takes over.
+  w.hierarchies[0]->stop();
+  w.session.agent_at(0).stop();
+  w.session.queue().run_until(60.0 + 4 * hcfg.staleness_intervals *
+                                         hcfg.report_interval);
+  EXPECT_EQ(w.hierarchies[1]->representative(), 1u);
+  EXPECT_TRUE(w.hierarchies[1]->is_representative());
+  EXPECT_EQ(w.hierarchies[3]->representative(), 1u);
+}
+
+TEST(SessionHierarchyTest, ReducesWideAreaSessionTraffic) {
+  // A tree of LANs: 5 routers, 6 workstations each.  Compare wide-area
+  // (backbone) session-message link crossings, flat vs hierarchical, over
+  // the same simulated duration and per-member reporting rate.
+  auto count_backbone_session_crossings = [](bool hierarchical,
+                                             std::uint64_t seed) {
+    auto tl = topo::make_tree_of_lans(5, 3, 6);
+    const std::size_t routers = tl.routers.size();
+    std::vector<net::NodeId> members = tl.workstations;
+    harness::SimSession session(std::move(tl.topo), members,
+                                {SrmConfig{}, seed, 1});
+    std::vector<std::unique_ptr<SessionHierarchy>> hier;
+    util::Rng rng(seed);
+    HierarchyConfig hcfg;
+    hcfg.local_ttl = 2;  // workstation -> router -> sibling workstation
+    hcfg.report_interval = 5.0;
+
+    std::uint64_t backbone_crossings = 0;
+    // Count deliveries of session messages that crossed >2 hops (i.e. left
+    // the LAN neighborhood).
+    session.network().set_delivery_observer(
+        [&](const net::Packet& p, const net::DeliveryInfo& info) {
+          if (dynamic_cast<const SessionMessage*>(p.payload.get()) &&
+              info.hops > 2) {
+            ++backbone_crossings;
+          }
+        });
+
+    if (hierarchical) {
+      session.for_each_agent([&](SrmAgent& a) {
+        hier.push_back(
+            std::make_unique<SessionHierarchy>(a, hcfg, rng.fork()));
+        hier.back()->start();
+      });
+      session.queue().run_until(200.0);
+    } else {
+      // Flat: everyone reports globally at the same mean interval.
+      for (int round = 0; round < 40; ++round) {
+        session.for_each_agent([&](SrmAgent& a) {
+          session.queue().schedule_after(
+              5.0 * round + rng.uniform(0.0, 5.0),
+              [&a] { a.send_session_message(); });
+        });
+      }
+      session.queue().run_until(200.0);
+    }
+    (void)routers;
+    return backbone_crossings;
+  };
+
+  const auto flat = count_backbone_session_crossings(false, 11);
+  const auto hier = count_backbone_session_crossings(true, 11);
+  EXPECT_LT(hier, flat / 3)
+      << "hierarchy should cut wide-area session traffic several-fold";
+}
+
+}  // namespace
+}  // namespace srm

@@ -1,0 +1,176 @@
+#include "srm/session.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "harness/session.h"
+
+namespace srm {
+namespace {
+
+// --- DistanceEstimator algebra, directly -----------------------------------
+
+TEST(DistanceEstimatorTest, TwoWayExchangeYieldsOneWayDelay) {
+  sim::EventQueue q;
+  // Hosts with wildly different clock offsets; true one-way delay is 3s.
+  sim::LocalClock clock_a(q, 500.0);
+  sim::LocalClock clock_b(q, -200.0);
+  DistanceEstimator est_a(clock_a);
+  DistanceEstimator est_b(clock_b);
+  const SourceId A = 1, B = 2;
+
+  // t = 0: A sends a session packet stamped with its clock.
+  SessionMessage from_a(A, clock_a.now(), {}, {});
+  // t = 3: B receives it.
+  q.schedule_at(3.0, [&] { est_b.on_session_message(from_a, B); });
+  // t = 10: B replies, echoing A's timestamp with its 7s hold time.
+  std::shared_ptr<SessionMessage> from_b;
+  q.schedule_at(10.0, [&] {
+    from_b = std::make_shared<SessionMessage>(B, clock_b.now(),
+                                              SessionMessage::StateReport{},
+                                              est_b.build_echoes());
+  });
+  // t = 13: A receives the reply and can now estimate d = (13 - 0 - 7)/2 = 3.
+  q.schedule_at(13.0, [&] { est_a.on_session_message(*from_b, A); });
+  q.run();
+  ASSERT_EQ(from_b->echoes().count(A), 1u);
+  EXPECT_DOUBLE_EQ(from_b->echoes().at(A).hold_time, 7.0);
+
+  const auto d = est_a.distance(B);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 3.0, 1e-9);
+}
+
+TEST(DistanceEstimatorTest, NoEstimateBeforeEcho) {
+  sim::EventQueue q;
+  sim::LocalClock clock(q, 0.0);
+  DistanceEstimator est(clock);
+  SessionMessage msg(2, 0.0, {}, {});
+  est.on_session_message(msg, 1);
+  EXPECT_FALSE(est.distance(2).has_value());
+  EXPECT_EQ(est.peers_heard(), 1u);
+}
+
+TEST(DistanceEstimatorTest, NegativeArtifactsClampToZero) {
+  sim::EventQueue q;
+  sim::LocalClock clock(q, 0.0);
+  DistanceEstimator est(clock);
+  // Echo claims a hold time larger than the elapsed time: clamp, not negative.
+  std::map<SourceId, SessionMessage::Echo> echoes;
+  echoes[1] = SessionMessage::Echo{0.0, 50.0};
+  q.schedule_at(10.0, [&] {
+    SessionMessage msg(2, 0.0, {}, echoes);
+    est.on_session_message(msg, 1);
+  });
+  q.run();
+  ASSERT_TRUE(est.distance(2).has_value());
+  EXPECT_GE(*est.distance(2), 0.0);
+}
+
+// --- End-to-end: agents exchanging real session messages --------------------
+
+TEST(SessionIntegrationTest, EstimatesConvergeToOracleOnChain) {
+  SrmConfig cfg;
+  cfg.distance_mode = DistanceMode::kEstimated;
+  cfg.session.enabled = false;  // messages sent manually below
+
+  auto topo = topo::make_chain(5);
+  harness::SimSession s(std::move(topo), {0, 1, 2, 3, 4},
+                        {cfg, /*seed=*/7, /*group=*/1});
+
+  // Two full rounds of session messages so everyone has echoed everyone.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < s.member_count(); ++i) {
+      s.agent(i).send_session_message();
+      s.queue().run();
+    }
+  }
+
+  for (std::size_t i = 0; i < s.member_count(); ++i) {
+    for (std::size_t j = 0; j < s.member_count(); ++j) {
+      if (i == j) continue;
+      const double est = s.agent(i).distance_to(s.agent(j).id());
+      const double oracle =
+          s.network().distance(s.agent(i).node(), s.agent(j).node());
+      EXPECT_NEAR(est, oracle, 1e-9) << i << " -> " << j;
+    }
+  }
+}
+
+TEST(SessionIntegrationTest, UnknownPeerFallsBackToDefault) {
+  SrmConfig cfg;
+  cfg.distance_mode = DistanceMode::kEstimated;
+  cfg.default_distance = 42.0;
+  auto topo = topo::make_chain(3);
+  harness::SimSession s(std::move(topo), {0, 2}, {cfg, 7, 1});
+  EXPECT_DOUBLE_EQ(s.agent(0).distance_to(s.agent(1).id()), 42.0);
+}
+
+TEST(SessionIntegrationTest, SessionMessagesAnnounceStreamState) {
+  SrmConfig cfg;
+  auto topo = topo::make_chain(3);
+  harness::SimSession s(std::move(topo), {0, 1, 2}, {cfg, 7, 1});
+
+  const PageId page{0, 0};
+  s.for_each_agent([&](SrmAgent& a) { a.set_current_page(page); });
+  s.agent(0).send_data(page, {1});
+  s.queue().run();
+
+  // Member 1 reports the stream in its session message; all members already
+  // have the data so no new requests should result.
+  s.agent(1).send_session_message();
+  s.queue().run();
+  const auto max0 = s.agent(2).advertised_max(StreamKey{0, page});
+  ASSERT_TRUE(max0.has_value());
+  EXPECT_EQ(*max0, 0u);
+}
+
+// --- Session scheduling (vat-style scaling) ---------------------------------
+
+TEST(SessionSchedulerTest, IntervalScalesWithGroupSize) {
+  SessionConfig cfg;
+  cfg.bandwidth_fraction = 0.05;
+  cfg.data_bandwidth_bytes = 8000.0;  // 400 B/s session budget
+  cfg.min_interval = 0.0;
+  SessionScheduler sched(cfg, util::Rng(1));
+  const double small = sched.mean_interval(10, 100);
+  const double large = sched.mean_interval(100, 100);
+  EXPECT_NEAR(large / small, 10.0, 1e-9);
+  // 100 members * 100 B / 400 B/s = 25 s between reports.
+  EXPECT_NEAR(large, 25.0, 1e-9);
+}
+
+TEST(SessionSchedulerTest, MinIntervalFloors) {
+  SessionConfig cfg;
+  cfg.min_interval = 5.0;
+  SessionScheduler sched(cfg, util::Rng(1));
+  EXPECT_GE(sched.mean_interval(1, 1), 5.0);
+}
+
+TEST(SessionSchedulerTest, JitterStaysWithinBand) {
+  SessionConfig cfg;
+  cfg.min_interval = 0.0;
+  cfg.jitter = 0.5;
+  SessionScheduler sched(cfg, util::Rng(1));
+  const double mean = sched.mean_interval(50, 100);
+  for (int i = 0; i < 200; ++i) {
+    const double iv = sched.next_interval(50, 100);
+    EXPECT_GE(iv, 0.5 * mean - 1e-9);
+    EXPECT_LE(iv, 1.5 * mean + 1e-9);
+  }
+}
+
+TEST(SessionSchedulerTest, AggregateBandwidthIndependentOfGroupSize) {
+  // G members each reporting every G*B/(f*W) seconds produce f*W total.
+  SessionConfig cfg;
+  cfg.min_interval = 0.0;
+  SessionScheduler sched(cfg, util::Rng(1));
+  for (std::size_t g : {5u, 50u, 500u}) {
+    const double per_member_rate = 100.0 / sched.mean_interval(g, 100);
+    const double aggregate = per_member_rate * static_cast<double>(g);
+    EXPECT_NEAR(aggregate, 0.05 * 8000.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace srm

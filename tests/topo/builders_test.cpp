@@ -1,0 +1,183 @@
+#include "topo/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "net/routing.h"
+
+namespace srm::topo {
+namespace {
+
+using net::NodeId;
+using net::Topology;
+
+TEST(ChainTest, StructureAndConnectivity) {
+  Topology t = make_chain(10);
+  EXPECT_EQ(t.node_count(), 10u);
+  EXPECT_EQ(t.link_count(), 9u);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.degree(0), 1u);
+  EXPECT_EQ(t.degree(5), 2u);
+  EXPECT_EQ(t.degree(9), 1u);
+}
+
+TEST(ChainTest, SingleNode) {
+  Topology t = make_chain(1);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.link_count(), 0u);
+}
+
+TEST(ChainTest, RejectsEmpty) { EXPECT_THROW(make_chain(0), std::invalid_argument); }
+
+TEST(StarTest, CenterConnectsAllLeaves) {
+  Star s = make_star(8);
+  EXPECT_EQ(s.topo.node_count(), 9u);
+  EXPECT_EQ(s.topo.link_count(), 8u);
+  EXPECT_EQ(s.topo.degree(s.center), 8u);
+  EXPECT_EQ(s.leaves.size(), 8u);
+  for (NodeId leaf : s.leaves) {
+    EXPECT_EQ(s.topo.degree(leaf), 1u);
+    EXPECT_NE(leaf, s.center);
+  }
+}
+
+TEST(StarTest, LeafToLeafDistanceIsTwo) {
+  Star s = make_star(5);
+  net::Routing r(s.topo);
+  EXPECT_DOUBLE_EQ(r.distance(s.leaves[0], s.leaves[4]), 2.0);
+}
+
+TEST(BoundedDegreeTreeTest, ExactNodeCountAndDegreeBound) {
+  for (std::size_t n : {1u, 2u, 5u, 100u, 1000u}) {
+    Topology t = make_bounded_degree_tree(n, 4);
+    EXPECT_EQ(t.node_count(), n);
+    EXPECT_EQ(t.link_count(), n - 1);
+    EXPECT_TRUE(t.connected());
+    for (NodeId v = 0; v < n; ++v) EXPECT_LE(t.degree(v), 4u);
+  }
+}
+
+TEST(BoundedDegreeTreeTest, InteriorNodesSaturate) {
+  // In a large degree-4 tree, the root should reach degree 4 and early
+  // interior nodes should have degree 4 (3 children + parent).
+  Topology t = make_bounded_degree_tree(500, 4);
+  EXPECT_EQ(t.degree(0), 4u);
+  EXPECT_EQ(t.degree(1), 4u);
+}
+
+TEST(BoundedDegreeTreeTest, BfsNumberingIsBalanced) {
+  // Node ids are assigned in BFS order, so depth is monotone in id.
+  Topology t = make_bounded_degree_tree(85, 4);
+  net::Routing r(t);
+  int prev_depth = 0;
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    const int d = r.hop_count(0, v);
+    EXPECT_GE(d, prev_depth);
+    prev_depth = std::max(prev_depth, d);
+  }
+  // 1 + 4 + 4*3 + 4*9 + 4*27/... : depth of node 84 in a degree-4 tree
+  EXPECT_EQ(r.hop_count(0, 84), 4);
+}
+
+TEST(BoundedDegreeTreeTest, RejectsDegreeBelowTwo) {
+  EXPECT_THROW(make_bounded_degree_tree(5, 1), std::invalid_argument);
+}
+
+TEST(RandomTreeTest, IsSpanningTree) {
+  util::Rng rng(7);
+  for (std::size_t n : {2u, 3u, 10u, 200u}) {
+    Topology t = make_random_tree(n, rng);
+    EXPECT_EQ(t.node_count(), n);
+    EXPECT_EQ(t.link_count(), n - 1);
+    EXPECT_TRUE(t.connected());
+  }
+}
+
+TEST(RandomTreeTest, DegreeDistributionMostlySmall) {
+  // Palmer: P(deg <= 4) -> ~0.98 for large random labeled trees.
+  util::Rng rng(11);
+  std::size_t small_degree = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology t = make_random_tree(300, rng);
+    for (NodeId v = 0; v < t.node_count(); ++v) {
+      ++total;
+      if (t.degree(v) <= 4) ++small_degree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(small_degree) / total, 0.95);
+}
+
+TEST(RandomTreeTest, DifferentSeedsDifferentTrees) {
+  util::Rng r1(1), r2(2);
+  Topology a = make_random_tree(50, r1);
+  Topology b = make_random_tree(50, r2);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.link_count() && !differ; ++i) {
+    if (a.link(static_cast<net::LinkId>(i)).a !=
+            b.link(static_cast<net::LinkId>(i)).a ||
+        a.link(static_cast<net::LinkId>(i)).b !=
+            b.link(static_cast<net::LinkId>(i)).b) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomGraphTest, ExactEdgeCountConnected) {
+  util::Rng rng(3);
+  Topology t = make_random_graph(100, 150, rng);
+  EXPECT_EQ(t.node_count(), 100u);
+  EXPECT_EQ(t.link_count(), 150u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(RandomGraphTest, MinimumEdgesIsTree) {
+  util::Rng rng(3);
+  Topology t = make_random_graph(20, 19, rng);
+  EXPECT_EQ(t.link_count(), 19u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(RandomGraphTest, RejectsOutOfRangeEdgeCounts) {
+  util::Rng rng(3);
+  EXPECT_THROW(make_random_graph(10, 8, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_graph(10, 46, rng), std::invalid_argument);
+}
+
+TEST(TreeOfLansTest, StructureMatchesSpec) {
+  TreeOfLans tl = make_tree_of_lans(10, 4, 5);
+  EXPECT_EQ(tl.routers.size(), 10u);
+  EXPECT_EQ(tl.workstations.size(), 50u);
+  EXPECT_EQ(tl.topo.node_count(), 60u);
+  EXPECT_TRUE(tl.topo.connected());
+  // Workstations are leaves.
+  for (NodeId w : tl.workstations) EXPECT_EQ(tl.topo.degree(w), 1u);
+}
+
+TEST(TreeOfLansTest, LanLinksAreFast) {
+  TreeOfLans tl = make_tree_of_lans(4, 3, 2, /*backbone=*/1.0, /*lan=*/0.1);
+  net::Routing r(tl.topo);
+  // Workstation to its own router: 0.1; to a neighbor router: 1.1.
+  EXPECT_NEAR(r.distance(tl.workstations[0], tl.routers[0]), 0.1, 1e-12);
+}
+
+TEST(AssignSubtreeRegionsTest, PartitionsByRootChild) {
+  Topology t = make_bounded_degree_tree(13, 4);  // root + 4 subtrees
+  assign_subtree_regions(t, 0);
+  EXPECT_EQ(t.admin_region(0), 0u);
+  // Children of the root get distinct regions.
+  std::map<std::uint32_t, int> region_count;
+  for (NodeId v = 1; v < t.node_count(); ++v) {
+    EXPECT_NE(t.admin_region(v), 0u);
+    ++region_count[t.admin_region(v)];
+  }
+  EXPECT_EQ(region_count.size(), 4u);
+  // Nodes in the same subtree share a region: node 1's children are 5,6,7.
+  EXPECT_EQ(t.admin_region(5), t.admin_region(1));
+  EXPECT_NE(t.admin_region(5), t.admin_region(2));
+}
+
+}  // namespace
+}  // namespace srm::topo

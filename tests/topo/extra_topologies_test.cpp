@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "net/routing.h"
+#include "topo/builders.h"
+
+namespace srm::topo {
+namespace {
+
+using net::NodeId;
+
+TEST(RingTest, StructureAndShortestPaths) {
+  net::Topology t = make_ring(8);
+  EXPECT_EQ(t.node_count(), 8u);
+  EXPECT_EQ(t.link_count(), 8u);
+  EXPECT_TRUE(t.connected());
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(t.degree(v), 2u);
+  net::Routing r(t);
+  // Shortest way round: 3 hops to node 3, 3 hops to node 5 (other way).
+  EXPECT_DOUBLE_EQ(r.distance(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(r.distance(0, 5), 3.0);
+  EXPECT_DOUBLE_EQ(r.distance(0, 4), 4.0);  // antipode
+}
+
+TEST(RingTest, RejectsTooSmall) {
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(DumbbellTest, StructureAndBottleneck) {
+  Dumbbell d = make_dumbbell(4, /*bottleneck_hops=*/2, /*bneck_delay=*/5.0,
+                             /*access=*/1.0);
+  EXPECT_EQ(d.left_hosts.size(), 4u);
+  EXPECT_EQ(d.right_hosts.size(), 4u);
+  EXPECT_TRUE(d.topo.connected());
+  net::Routing r(d.topo);
+  // Same side: host-router-host = 2.
+  EXPECT_DOUBLE_EQ(r.distance(d.left_hosts[0], d.left_hosts[1]), 2.0);
+  // Cross side: 1 + 2*5 + 1 = 12.
+  EXPECT_DOUBLE_EQ(r.distance(d.left_hosts[0], d.right_hosts[0]), 12.0);
+  EXPECT_EQ(r.hop_count(d.left_hosts[0], d.right_hosts[0]), 4);
+}
+
+TEST(DumbbellTest, SingleHopBottleneck) {
+  Dumbbell d = make_dumbbell(2);
+  net::Routing r(d.topo);
+  EXPECT_DOUBLE_EQ(r.distance(d.left_router, d.right_router), 5.0);
+  EXPECT_EQ(r.hop_count(d.left_router, d.right_router), 1);
+}
+
+TEST(DumbbellTest, RejectsBadArgs) {
+  EXPECT_THROW(make_dumbbell(0), std::invalid_argument);
+  EXPECT_THROW(make_dumbbell(2, 0), std::invalid_argument);
+}
+
+TEST(TransitStubTest, StructureCounts) {
+  util::Rng rng(5);
+  TransitStub ts = make_transit_stub(4, 2, 5, rng);
+  EXPECT_EQ(ts.transit_nodes.size(), 4u);
+  EXPECT_EQ(ts.stub_nodes.size(), 4u * 2u * 5u);
+  EXPECT_EQ(ts.topo.node_count(), 4u + 40u);
+  EXPECT_TRUE(ts.topo.connected());
+}
+
+TEST(TransitStubTest, BackboneSlowerThanStubs) {
+  util::Rng rng(7);
+  TransitStub ts = make_transit_stub(4, 1, 4, rng, /*transit=*/10.0,
+                                     /*stub=*/1.0);
+  net::Routing r(ts.topo);
+  // Within one stub domain: cheap.  Across the backbone: dominated by
+  // transit-delay links.
+  const double intra = r.distance(ts.stub_nodes[0], ts.stub_nodes[3]);
+  const double inter = r.distance(ts.stub_nodes[0], ts.stub_nodes.back());
+  EXPECT_LT(intra, 8.0);
+  EXPECT_GT(inter, 10.0);
+}
+
+TEST(TransitStubTest, DeterministicGivenRngState) {
+  util::Rng a(9), b(9);
+  TransitStub x = make_transit_stub(3, 2, 6, a);
+  TransitStub y = make_transit_stub(3, 2, 6, b);
+  ASSERT_EQ(x.topo.link_count(), y.topo.link_count());
+  for (std::size_t i = 0; i < x.topo.link_count(); ++i) {
+    EXPECT_EQ(x.topo.link(static_cast<net::LinkId>(i)).a,
+              y.topo.link(static_cast<net::LinkId>(i)).a);
+    EXPECT_EQ(x.topo.link(static_cast<net::LinkId>(i)).b,
+              y.topo.link(static_cast<net::LinkId>(i)).b);
+  }
+}
+
+TEST(TransitStubTest, RejectsBadArgs) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_transit_stub(2, 1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(make_transit_stub(3, 1, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srm::topo

@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace srm::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = parse({"--seed=99", "--trials=5"});
+  EXPECT_EQ(f.get_seed(1), 99u);
+  EXPECT_EQ(f.get_int("trials", 0), 5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = parse({"--name", "value"});
+  EXPECT_EQ(f.get_string("name", ""), "value");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  const Flags f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("s", "d"), "d");
+  EXPECT_EQ(f.get_seed(7), 7u);
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = parse({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.25);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = parse({"pos1", "--k=v", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(FlagsTest, HasDetectsPresence) {
+  const Flags f = parse({"--x=1"});
+  EXPECT_TRUE(f.has("x"));
+  EXPECT_FALSE(f.has("y"));
+}
+
+}  // namespace
+}  // namespace srm::util

@@ -1,0 +1,158 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace srm::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, AdjacentSeedsUncorrelatedInUniform) {
+  // splitmix64 expansion should decorrelate seeds 0 and 1.
+  Rng a(0), b(1);
+  double corr_hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = a.uniform(0, 1);
+    const double y = b.uniform(0, 1);
+    if (std::abs(x - y) < 0.01) ++corr_hits;
+  }
+  EXPECT_LT(corr_hits, 60);  // ~2% expected for independent streams
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformDegenerateIntervalReturnsLo) {
+  Rng r(7);
+  EXPECT_DOUBLE_EQ(r.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(RngTest, UniformRejectsInvertedBounds) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng r(9);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng r(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_without_replacement(20, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (std::size_t v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng r(13);
+  const auto s = r.sample_without_replacement(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, SampleRejectsOverdraw) {
+  Rng r(13);
+  EXPECT_THROW(r.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Parent and child should produce different streams.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, IndexStaysInRange) {
+  Rng r(17);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(r.index(7), 7u);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto reshuffled = v;
+  std::sort(reshuffled.begin(), reshuffled.end());
+  EXPECT_EQ(reshuffled, sorted);
+}
+
+}  // namespace
+}  // namespace srm::util

@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace srm::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, ClearResets) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SamplesTest, QuantilesOfKnownSet) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.lower_quartile(), 2.0);
+  EXPECT_DOUBLE_EQ(s.upper_quartile(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SamplesTest, QuantileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(SamplesTest, InsertionOrderPreservedAfterQuantile) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  s.add(3.0);
+  (void)s.median();  // triggers sorting of the internal cache only
+  ASSERT_EQ(s.values().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.values()[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.values()[2], 3.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.values().back(), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(SamplesTest, EmptyQuantileThrows) {
+  Samples s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+}
+
+TEST(SamplesTest, OutOfRangeQuantileThrows) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SamplesTest, MeanMatches) {
+  Samples s;
+  for (double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(EwmaTest, FirstSampleSeedsAverage) {
+  Ewma e(0.25);
+  EXPECT_FALSE(e.seeded());
+  e.update(8.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+}
+
+TEST(EwmaTest, ConvergesGeometrically) {
+  Ewma e(0.25);
+  e.update(0.0);
+  e.update(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);  // 0.75*0 + 0.25*4
+  e.update(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.75);
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(EwmaTest, ResetUnseeds) {
+  Ewma e(0.5);
+  e.update(10.0);
+  e.reset(0.0);
+  EXPECT_FALSE(e.seeded());
+  e.update(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(SummaryTest, SummarizeEmpty) {
+  Samples s;
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.count, 0u);
+}
+
+TEST(SummaryTest, SummarizeFiveNumber) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 100.0}) s.add(x);
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.count, 5u);
+  EXPECT_DOUBLE_EQ(sum.median, 3.0);
+  EXPECT_DOUBLE_EQ(sum.q1, 2.0);
+  EXPECT_DOUBLE_EQ(sum.q3, 4.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 100.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 22.0);
+}
+
+}  // namespace
+}  // namespace srm::util

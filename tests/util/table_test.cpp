@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace srm::util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.to_string();
+  // Every line should have the same position for the second column.
+  std::istringstream is(out);
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  std::getline(is, l4);
+  EXPECT_EQ(l1.size(), l3.size());
+  EXPECT_EQ(l3.size(), l4.size());
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 3");
+  EXPECT_NE(os.str().find("Figure 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srm::util

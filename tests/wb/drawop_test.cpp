@@ -1,0 +1,110 @@
+#include "wb/drawop.h"
+
+#include <gtest/gtest.h>
+
+namespace srm::wb {
+namespace {
+
+DrawOp sample_line() {
+  DrawOp op;
+  op.type = OpType::kLine;
+  op.x1 = 1.5;
+  op.y1 = -2.25;
+  op.x2 = 100.0;
+  op.y2 = 200.5;
+  op.color = Color{10, 20, 30};
+  op.timestamp = 42.125;
+  return op;
+}
+
+TEST(DrawOpCodecTest, RoundTripLine) {
+  const DrawOp op = sample_line();
+  const auto decoded = decode(encode(op));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, op);
+}
+
+TEST(DrawOpCodecTest, RoundTripText) {
+  DrawOp op = sample_line();
+  op.type = OpType::kText;
+  op.text = "hello whiteboard \xF0\x9F\x96\x8A";
+  const auto decoded = decode(encode(op));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->text, op.text);
+}
+
+TEST(DrawOpCodecTest, RoundTripDeleteTarget) {
+  DrawOp op;
+  op.type = OpType::kDelete;
+  op.target = DataName{7, PageId{7, 3}, 99};
+  const auto decoded = decode(encode(op));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->target, op.target);
+}
+
+TEST(DrawOpCodecTest, RoundTripAllTypes) {
+  for (OpType t : {OpType::kLine, OpType::kRect, OpType::kCircle,
+                   OpType::kText, OpType::kDelete}) {
+    DrawOp op = sample_line();
+    op.type = t;
+    const auto decoded = decode(encode(op));
+    ASSERT_TRUE(decoded.has_value()) << to_string(t);
+    EXPECT_EQ(decoded->type, t);
+  }
+}
+
+TEST(DrawOpCodecTest, RejectsEmpty) {
+  EXPECT_FALSE(decode(Payload{}).has_value());
+}
+
+TEST(DrawOpCodecTest, RejectsBadMagic) {
+  Payload p = encode(sample_line());
+  p[0] ^= 0xFF;
+  EXPECT_FALSE(decode(p).has_value());
+}
+
+TEST(DrawOpCodecTest, RejectsBadVersion) {
+  Payload p = encode(sample_line());
+  p[1] = 99;
+  EXPECT_FALSE(decode(p).has_value());
+}
+
+TEST(DrawOpCodecTest, RejectsBadType) {
+  Payload p = encode(sample_line());
+  p[2] = 200;
+  EXPECT_FALSE(decode(p).has_value());
+}
+
+TEST(DrawOpCodecTest, RejectsTruncation) {
+  const Payload full = encode(sample_line());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Payload cut(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode(cut).has_value()) << "length " << len;
+  }
+}
+
+TEST(DrawOpCodecTest, RejectsTrailingGarbage) {
+  Payload p = encode(sample_line());
+  p.push_back(0x00);
+  EXPECT_FALSE(decode(p).has_value());
+}
+
+TEST(DrawOpCodecTest, RejectsOversizedTextLength) {
+  DrawOp op = sample_line();
+  op.type = OpType::kText;
+  op.text = "abc";
+  Payload p = encode(op);
+  // The text length field sits after 3 + 4*8 + 3 + 8 = 46 bytes; corrupt it
+  // to claim more bytes than exist.
+  p[46] = 0xFF;
+  p[47] = 0xFF;
+  EXPECT_FALSE(decode(p).has_value());
+}
+
+TEST(DrawOpTest, TypeNames) {
+  EXPECT_EQ(to_string(OpType::kLine), "line");
+  EXPECT_EQ(to_string(OpType::kDelete), "delete");
+}
+
+}  // namespace
+}  // namespace srm::wb

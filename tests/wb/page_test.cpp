@@ -1,0 +1,120 @@
+#include "wb/page.h"
+
+#include <gtest/gtest.h>
+
+namespace srm::wb {
+namespace {
+
+DataName name_of(SourceId s, SeqNo q) { return DataName{s, PageId{1, 0}, q}; }
+
+DrawOp line_at(double t) {
+  DrawOp op;
+  op.type = OpType::kLine;
+  op.timestamp = t;
+  return op;
+}
+
+TEST(PageTest, ApplyIsIdempotent) {
+  Page p(PageId{1, 0});
+  EXPECT_TRUE(p.apply(name_of(1, 0), line_at(1.0)));
+  EXPECT_FALSE(p.apply(name_of(1, 0), line_at(1.0)));
+  EXPECT_EQ(p.op_count(), 1u);
+}
+
+TEST(PageTest, VisibleOpsSortedByTimestamp) {
+  Page p(PageId{1, 0});
+  p.apply(name_of(1, 0), line_at(3.0));
+  p.apply(name_of(1, 1), line_at(1.0));
+  p.apply(name_of(2, 0), line_at(2.0));
+  const auto vis = p.visible_ops();
+  ASSERT_EQ(vis.size(), 3u);
+  EXPECT_DOUBLE_EQ(vis[0].second.timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(vis[1].second.timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(vis[2].second.timestamp, 3.0);
+}
+
+TEST(PageTest, TimestampTiesBrokenByName) {
+  Page p(PageId{1, 0});
+  p.apply(name_of(2, 0), line_at(1.0));
+  p.apply(name_of(1, 0), line_at(1.0));
+  const auto vis = p.visible_ops();
+  ASSERT_EQ(vis.size(), 2u);
+  EXPECT_LT(vis[0].first, vis[1].first);
+}
+
+TEST(PageTest, DeleteHidesTarget) {
+  Page p(PageId{1, 0});
+  p.apply(name_of(1, 0), line_at(1.0));
+  DrawOp del;
+  del.type = OpType::kDelete;
+  del.target = name_of(1, 0);
+  p.apply(name_of(1, 1), del);
+  EXPECT_EQ(p.visible_count(), 0u);
+  EXPECT_TRUE(p.is_deleted(name_of(1, 0)));
+  EXPECT_EQ(p.op_count(), 2u);  // history retained for repairs
+}
+
+TEST(PageTest, DeleteBeforeTargetPatchesAfterwards) {
+  // The delete arrives first; when the target finally shows up it must be
+  // immediately hidden (Sec. II-C "patched after the fact").
+  Page p(PageId{1, 0});
+  DrawOp del;
+  del.type = OpType::kDelete;
+  del.target = name_of(1, 0);
+  p.apply(name_of(1, 1), del);
+  EXPECT_EQ(p.visible_count(), 0u);
+  p.apply(name_of(1, 0), line_at(1.0));
+  EXPECT_EQ(p.visible_count(), 0u);
+  EXPECT_TRUE(p.contains(name_of(1, 0)));
+}
+
+TEST(PageTest, DeleteOpsAreNotVisible) {
+  Page p(PageId{1, 0});
+  DrawOp del;
+  del.type = OpType::kDelete;
+  del.target = name_of(9, 9);
+  p.apply(name_of(1, 0), del);
+  EXPECT_EQ(p.visible_count(), 0u);
+}
+
+TEST(PageTest, ArrivalOrderIrrelevantForFinalState) {
+  // Apply the same ops in two different orders; the rendered result and
+  // metadata must match exactly (the idempotence/ordering contract that
+  // lets SRM deliver without ordering guarantees).
+  std::vector<std::pair<DataName, DrawOp>> ops;
+  for (SeqNo q = 0; q < 6; ++q) {
+    ops.emplace_back(name_of(1, q), line_at(6.0 - static_cast<double>(q)));
+  }
+  DrawOp del;
+  del.type = OpType::kDelete;
+  del.target = name_of(1, 2);
+  ops.emplace_back(name_of(1, 6), del);
+
+  Page forward(PageId{1, 0});
+  for (const auto& [n, o] : ops) forward.apply(n, o);
+  Page backward(PageId{1, 0});
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    backward.apply(it->first, it->second);
+  }
+  const auto a = forward.visible_ops();
+  const auto b = backward.visible_ops();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+  EXPECT_EQ(a.size(), 5u);  // 6 lines minus 1 deleted
+}
+
+TEST(PageTest, FindReturnsStoredOp) {
+  Page p(PageId{1, 0});
+  const DrawOp op = line_at(5.0);
+  p.apply(name_of(3, 7), op);
+  const auto found = p.find(name_of(3, 7));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, op);
+  EXPECT_FALSE(p.find(name_of(3, 8)).has_value());
+}
+
+}  // namespace
+}  // namespace srm::wb

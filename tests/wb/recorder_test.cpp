@@ -1,0 +1,137 @@
+#include "wb/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/session.h"
+#include "topo/builders.h"
+
+namespace srm::wb {
+namespace {
+
+SrmConfig cfg() {
+  SrmConfig c;
+  c.timers = TimerParams{1.0, 1.0, 1.0, 1.0};
+  return c;
+}
+
+DrawOp line(double x1, double ts) {
+  DrawOp op;
+  op.type = OpType::kLine;
+  op.x1 = x1;
+  op.timestamp = ts;
+  return op;
+}
+
+TEST(RecorderTest, CapturesLocalAndRemoteOps) {
+  harness::SimSession s(topo::make_chain(2), {0, 1}, {cfg(), 1, 1});
+  Whiteboard b0(s.agent_at(0)), b1(s.agent_at(1));
+  Recorder rec(b1);
+  const PageId page = b0.create_page();
+  b1.view_page(page);
+  b0.draw(page, line(1, 1.0));
+  s.queue().run();
+  b1.draw(page, line(2, 2.0));
+  s.queue().run();
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.recording()[0].op.x1, 1.0);
+  EXPECT_DOUBLE_EQ(rec.recording()[1].op.x1, 2.0);
+}
+
+TEST(RecorderTest, TimestampsAreArrivalTimes) {
+  harness::SimSession s(topo::make_chain(3), {0, 2}, {cfg(), 2, 1});
+  Whiteboard b0(s.agent_at(0)), b2(s.agent_at(2));
+  Recorder rec(b2);
+  const PageId page = b0.create_page();
+  b2.view_page(page);
+  b0.draw(page, line(1, 1.0));
+  s.queue().run_until(10.0);
+  s.queue().schedule_after(0.0, [&] { b0.draw(page, line(2, 2.0)); });
+  s.queue().run();
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.recording()[0].at, 2.0);   // 2 hops from node 0
+  EXPECT_DOUBLE_EQ(rec.recording()[1].at, 12.0);
+  EXPECT_DOUBLE_EQ(rec.duration(), 10.0);
+}
+
+TEST(RecorderTest, StopFreezesTheLog) {
+  harness::SimSession s(topo::make_chain(2), {0, 1}, {cfg(), 3, 1});
+  Whiteboard b0(s.agent_at(0)), b1(s.agent_at(1));
+  Recorder rec(b1);
+  const PageId page = b0.create_page();
+  b1.view_page(page);
+  b0.draw(page, line(1, 1.0));
+  s.queue().run();
+  rec.stop();
+  b0.draw(page, line(2, 2.0));
+  s.queue().run();
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(RecorderTest, ReplayReproducesThePicture) {
+  // Record a session on one network, replay it into a completely separate
+  // session, and compare the rendered pictures.
+  harness::SimSession s1(topo::make_chain(2), {0, 1}, {cfg(), 4, 1});
+  Whiteboard src(s1.agent_at(0)), observer(s1.agent_at(1));
+  Recorder rec(observer);
+  const PageId page = src.create_page();
+  observer.view_page(page);
+  const DataName a = src.draw(page, line(1, 1.0));
+  src.draw(page, line(2, 2.0));
+  src.erase(page, a);  // deletes must survive the replay renaming
+  s1.queue().run();
+  rec.stop();
+  ASSERT_EQ(observer.page(page).visible_count(), 1u);
+
+  harness::SimSession s2(topo::make_chain(2), {0, 1}, {cfg(), 5, 1});
+  Whiteboard replayer(s2.agent_at(0)), audience(s2.agent_at(1));
+  replayer.view_page(page);
+  audience.view_page(page);
+  rec.replay_into(replayer, s2.queue());
+  s2.queue().run();
+  EXPECT_EQ(replayer.page(page).visible_count(), 1u);
+  EXPECT_EQ(audience.page(page).visible_count(), 1u);
+  EXPECT_DOUBLE_EQ(audience.page(page).visible_ops()[0].second.x1, 2.0);
+}
+
+TEST(RecorderTest, ReplayPreservesSpacing) {
+  harness::SimSession s1(topo::make_chain(2), {0, 1}, {cfg(), 6, 1});
+  Whiteboard src(s1.agent_at(0)), observer(s1.agent_at(1));
+  Recorder rec(observer);
+  const PageId page = src.create_page();
+  observer.view_page(page);
+  src.draw(page, line(1, 1.0));
+  s1.queue().run_until(5.0);
+  s1.queue().schedule_after(0.0, [&] { src.draw(page, line(2, 2.0)); });
+  s1.queue().run();
+  rec.stop();
+
+  harness::SimSession s2(topo::make_chain(2), {0, 1}, {cfg(), 7, 1});
+  Whiteboard replayer(s2.agent_at(0));
+  std::vector<double> times;
+  s2.network().set_send_observer([&](net::NodeId, const net::Packet&) {
+    times.push_back(s2.queue().now());
+  });
+  rec.replay_into(replayer, s2.queue(), /*time_scale=*/2.0);
+  s2.queue().run();
+  ASSERT_EQ(times.size(), 2u);
+  // Original spacing was 5s; at half speed the replay spaces them 10s.
+  EXPECT_DOUBLE_EQ(times[1] - times[0], 10.0);
+}
+
+TEST(RecorderTest, SnapshotRebuildsOffline) {
+  harness::SimSession s(topo::make_chain(2), {0, 1}, {cfg(), 8, 1});
+  Whiteboard b0(s.agent_at(0)), b1(s.agent_at(1));
+  Recorder rec(b1);
+  const PageId page = b0.create_page();
+  b1.view_page(page);
+  const DataName a = b0.draw(page, line(1, 1.0));
+  b0.draw(page, line(2, 2.0));
+  b0.erase(page, a);
+  s.queue().run();
+  const Page snap = rec.snapshot(page);
+  EXPECT_EQ(snap.visible_count(), 1u);
+  EXPECT_DOUBLE_EQ(snap.visible_ops()[0].second.x1, 2.0);
+}
+
+}  // namespace
+}  // namespace srm::wb

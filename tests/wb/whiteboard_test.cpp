@@ -1,0 +1,216 @@
+// Integration tests: whiteboards on SRM agents over the simulated network,
+// converging under loss, reordering, and late joins.
+#include "wb/whiteboard.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/session.h"
+#include "net/drop_policy.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm::wb {
+namespace {
+
+std::vector<net::NodeId> all_nodes(std::size_t n) {
+  std::vector<net::NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+  return v;
+}
+
+SrmConfig wb_config() {
+  SrmConfig cfg;
+  cfg.timers = TimerParams{1.0, 1.0, 1.0, 1.0};
+  return cfg;
+}
+
+DrawOp line(double x1, double y1, double x2, double y2, double ts) {
+  DrawOp op;
+  op.type = OpType::kLine;
+  op.x1 = x1;
+  op.y1 = y1;
+  op.x2 = x2;
+  op.y2 = y2;
+  op.timestamp = ts;
+  return op;
+}
+
+bool pages_equal(const Page& a, const Page& b) {
+  const auto va = a.visible_ops();
+  const auto vb = b.visible_ops();
+  if (va.size() != vb.size()) return false;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].first != vb[i].first || !(va[i].second == vb[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(WhiteboardTest, DrawPropagatesToAllMembers) {
+  harness::SimSession s(topo::make_chain(4), all_nodes(4), {wb_config(), 1, 1});
+  std::vector<std::unique_ptr<Whiteboard>> boards;
+  for (std::size_t i = 0; i < 4; ++i) {
+    boards.push_back(std::make_unique<Whiteboard>(s.agent(i)));
+  }
+  const PageId page = boards[0]->create_page();
+  for (auto& b : boards) b->view_page(page);
+  boards[0]->draw(page, line(0, 0, 1, 1, 1.0));
+  boards[0]->draw(page, line(1, 1, 2, 2, 2.0));
+  s.queue().run();
+  for (auto& b : boards) {
+    ASSERT_NE(b->find_page(page), nullptr);
+    EXPECT_EQ(b->find_page(page)->visible_count(), 2u);
+  }
+}
+
+TEST(WhiteboardTest, AnyMemberCanCreateAndDraw) {
+  harness::SimSession s(topo::make_chain(3), all_nodes(3), {wb_config(), 2, 1});
+  Whiteboard b0(s.agent(0)), b1(s.agent(1)), b2(s.agent(2));
+  const PageId p1 = b1.create_page();
+  b0.view_page(p1);
+  b2.view_page(p1);
+  b1.draw(p1, line(0, 0, 1, 0, 1.0));
+  b2.draw(p1, line(0, 1, 1, 1, 2.0));  // drawing on someone else's page
+  s.queue().run();
+  EXPECT_EQ(b0.page(p1).visible_count(), 2u);
+  EXPECT_EQ(p1.creator, s.agent(1).id());
+}
+
+TEST(WhiteboardTest, EraseHidesRemotely) {
+  harness::SimSession s(topo::make_chain(3), all_nodes(3), {wb_config(), 3, 1});
+  Whiteboard b0(s.agent(0)), b2(s.agent(2));
+  const PageId page = b0.create_page();
+  b2.view_page(page);
+  const DataName target = b0.draw(page, line(0, 0, 1, 1, 1.0));
+  s.queue().run();
+  EXPECT_EQ(b2.page(page).visible_count(), 1u);
+  b0.erase(page, target);
+  s.queue().run();
+  EXPECT_EQ(b2.page(page).visible_count(), 0u);
+  EXPECT_EQ(b0.page(page).visible_count(), 0u);
+}
+
+TEST(WhiteboardTest, ConvergesDespitePacketLoss) {
+  harness::SimSession s(topo::make_chain(5), all_nodes(5), {wb_config(), 4, 1});
+  std::vector<std::unique_ptr<Whiteboard>> boards;
+  for (std::size_t i = 0; i < 5; ++i) {
+    boards.push_back(std::make_unique<Whiteboard>(s.agent(i)));
+  }
+  const PageId page = boards[0]->create_page();
+  for (auto& b : boards) b->view_page(page);
+
+  // 20% random loss on data packets everywhere.
+  s.network().set_drop_policy(std::make_shared<net::RandomDrop>(
+      0.2, util::Rng(99), [](const net::Packet& p) {
+        return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
+      }));
+  for (int i = 0; i < 20; ++i) {
+    boards[0]->draw(page, line(i, 0, i + 1, 1, i));
+  }
+  s.queue().run();
+  s.network().set_drop_policy(nullptr);
+  // A post-loss session round lets members recover tail losses.
+  for (auto& b : boards) {
+    b->agent().send_session_message();
+    s.queue().run();
+  }
+  for (std::size_t i = 1; i < boards.size(); ++i) {
+    EXPECT_TRUE(pages_equal(boards[0]->page(page), boards[i]->page(page)))
+        << "board " << i;
+    EXPECT_EQ(boards[i]->page(page).visible_count(), 20u) << i;
+  }
+}
+
+TEST(WhiteboardTest, LateJoinerFetchesHistoryViaRepairs) {
+  harness::SimSession s(topo::make_chain(4), {0, 1, 2}, {wb_config(), 5, 1});
+  Whiteboard b0(s.agent_at(0));
+  const PageId page = b0.create_page();
+  for (int i = 0; i < 8; ++i) b0.draw(page, line(i, i, i + 1, i + 1, i));
+  s.queue().run();
+
+  SrmAgent late(s.network(), s.directory(), 3, 3, 1, wb_config(),
+                util::Rng(31));
+  late.start();
+  Whiteboard blate(late);
+  blate.view_page(page);
+  // A session message from an existing member announces the page state.
+  s.agent_at(2).set_current_page(page);
+  s.agent_at(2).send_session_message();
+  s.queue().run();
+  EXPECT_TRUE(pages_equal(b0.page(page), blate.page(page)));
+  EXPECT_EQ(blate.page(page).visible_count(), 8u);
+  late.stop();
+}
+
+TEST(WhiteboardTest, CorruptPayloadRefused) {
+  harness::SimSession s(topo::make_chain(2), all_nodes(2), {wb_config(), 6, 1});
+  Whiteboard b1(s.agent(1));
+  const PageId page{0, 0};
+  b1.view_page(page);
+  // Member 0 sends garbage bytes directly through its agent.
+  s.agent(0).send_data(page, Payload{0xDE, 0xAD, 0xBE, 0xEF});
+  s.queue().run();
+  EXPECT_EQ(b1.corrupt_payloads(), 1u);
+  EXPECT_EQ(b1.page(page).op_count(), 0u);
+}
+
+TEST(WhiteboardTest, ListenerNotifiedOncePerOp) {
+  harness::SimSession s(topo::make_chain(2), all_nodes(2), {wb_config(), 7, 1});
+  Whiteboard b0(s.agent(0)), b1(s.agent(1));
+  const PageId page = b0.create_page();
+  b1.view_page(page);
+  int notified = 0;
+  b1.set_listener([&](const PageId&, const DataName&, const DrawOp&) {
+    ++notified;
+  });
+  b0.draw(page, line(0, 0, 1, 1, 1.0));
+  b0.draw(page, line(0, 0, 2, 2, 2.0));
+  s.queue().run();
+  EXPECT_EQ(notified, 2);
+}
+
+TEST(WhiteboardTest, MultiplePagesIndependent) {
+  harness::SimSession s(topo::make_chain(2), all_nodes(2), {wb_config(), 8, 1});
+  Whiteboard b0(s.agent(0)), b1(s.agent(1));
+  const PageId pa = b0.create_page();
+  const PageId pb = b0.create_page();
+  EXPECT_NE(pa, pb);
+  b0.draw(pa, line(0, 0, 1, 1, 1.0));
+  b0.draw(pb, line(0, 0, 2, 2, 1.0));
+  b0.draw(pb, line(0, 0, 3, 3, 2.0));
+  s.queue().run();
+  EXPECT_EQ(b1.page(pa).visible_count(), 1u);
+  EXPECT_EQ(b1.page(pb).visible_count(), 2u);
+  ASSERT_EQ(b1.pages().size(), 2u);
+}
+
+
+TEST(WhiteboardTest, BrowseDiscoversAndFetchesOldPages) {
+  // The full browsing flow of Sec. III-A: a late joiner lists the session's
+  // pages, then views one; the page request pulls all of its drawops.
+  harness::SimSession s(topo::make_chain(4), {0, 1, 2}, {wb_config(), 9, 1});
+  Whiteboard b0(s.agent_at(0));
+  const PageId old_page = b0.create_page();
+  for (int i = 0; i < 4; ++i) b0.draw(old_page, line(i, 0, i, 1, i));
+  const PageId new_page = b0.create_page();
+  b0.draw(new_page, line(9, 9, 10, 10, 1.0));
+  s.queue().run();
+
+  SrmAgent late(s.network(), s.directory(), 3, 3, 1, wb_config(),
+                util::Rng(71));
+  late.start();
+  Whiteboard blate(late);
+  blate.browse();
+  s.queue().run();
+  ASSERT_EQ(blate.pages().size(), 2u);  // both pages discovered
+
+  blate.view_page(old_page);  // triggers the page-state fetch
+  s.queue().run();
+  EXPECT_TRUE(pages_equal(b0.page(old_page), blate.page(old_page)));
+  EXPECT_EQ(blate.page(old_page).visible_count(), 4u);
+  late.stop();
+}
+
+}  // namespace
+}  // namespace srm::wb
