@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backoff.dir/ablation_backoff.cpp.o"
+  "CMakeFiles/ablation_backoff.dir/ablation_backoff.cpp.o.d"
+  "ablation_backoff"
+  "ablation_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parity.dir/ablation_parity.cpp.o"
+  "CMakeFiles/ablation_parity.dir/ablation_parity.cpp.o.d"
+  "ablation_parity"
+  "ablation_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nonadaptive.dir/fig12_nonadaptive.cpp.o"
+  "CMakeFiles/fig12_nonadaptive.dir/fig12_nonadaptive.cpp.o.d"
+  "fig12_nonadaptive"
+  "fig12_nonadaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nonadaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

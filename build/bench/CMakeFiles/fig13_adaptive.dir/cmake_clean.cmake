@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adaptive.dir/fig13_adaptive.cpp.o"
+  "CMakeFiles/fig13_adaptive.dir/fig13_adaptive.cpp.o.d"
+  "fig13_adaptive"
+  "fig13_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

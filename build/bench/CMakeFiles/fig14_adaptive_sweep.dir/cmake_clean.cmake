@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_adaptive_sweep.dir/fig14_adaptive_sweep.cpp.o"
+  "CMakeFiles/fig14_adaptive_sweep.dir/fig14_adaptive_sweep.cpp.o.d"
+  "fig14_adaptive_sweep"
+  "fig14_adaptive_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_adaptive_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

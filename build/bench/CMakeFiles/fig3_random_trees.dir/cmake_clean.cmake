@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_random_trees.dir/fig3_random_trees.cpp.o"
+  "CMakeFiles/fig3_random_trees.dir/fig3_random_trees.cpp.o.d"
+  "fig3_random_trees"
+  "fig3_random_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_random_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

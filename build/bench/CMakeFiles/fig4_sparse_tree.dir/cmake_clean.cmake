@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sparse_tree.dir/fig4_sparse_tree.cpp.o"
+  "CMakeFiles/fig4_sparse_tree.dir/fig4_sparse_tree.cpp.o.d"
+  "fig4_sparse_tree"
+  "fig4_sparse_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sparse_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_source_adjacent.dir/fig4b_source_adjacent.cpp.o"
+  "CMakeFiles/fig4b_source_adjacent.dir/fig4b_source_adjacent.cpp.o.d"
+  "fig4b_source_adjacent"
+  "fig4b_source_adjacent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_source_adjacent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

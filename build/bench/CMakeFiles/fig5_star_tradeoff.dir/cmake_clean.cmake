@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_star_tradeoff.dir/fig5_star_tradeoff.cpp.o"
+  "CMakeFiles/fig5_star_tradeoff.dir/fig5_star_tradeoff.cpp.o.d"
+  "fig5_star_tradeoff"
+  "fig5_star_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_star_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_sparse_tree_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_chain_analysis.dir/fig_chain_analysis.cpp.o"
+  "CMakeFiles/fig_chain_analysis.dir/fig_chain_analysis.cpp.o.d"
+  "fig_chain_analysis"
+  "fig_chain_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_chain_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_extended_topologies.dir/fig_extended_topologies.cpp.o"
+  "CMakeFiles/fig_extended_topologies.dir/fig_extended_topologies.cpp.o.d"
+  "fig_extended_topologies"
+  "fig_extended_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_extended_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_heterogeneous.dir/fig_heterogeneous.cpp.o"
+  "CMakeFiles/fig_heterogeneous.dir/fig_heterogeneous.cpp.o.d"
+  "fig_heterogeneous"
+  "fig_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mixed_drops.dir/fig_mixed_drops.cpp.o"
+  "CMakeFiles/fig_mixed_drops.dir/fig_mixed_drops.cpp.o.d"
+  "fig_mixed_drops"
+  "fig_mixed_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mixed_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

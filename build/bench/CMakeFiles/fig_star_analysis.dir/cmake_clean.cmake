@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_star_analysis.dir/fig_star_analysis.cpp.o"
+  "CMakeFiles/fig_star_analysis.dir/fig_star_analysis.cpp.o.d"
+  "fig_star_analysis"
+  "fig_star_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_star_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

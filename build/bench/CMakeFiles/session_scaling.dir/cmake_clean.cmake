@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_scaling.dir/session_scaling.cpp.o"
+  "CMakeFiles/session_scaling.dir/session_scaling.cpp.o.d"
+  "session_scaling"
+  "session_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

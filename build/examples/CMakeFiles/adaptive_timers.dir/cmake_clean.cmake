@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_timers.dir/adaptive_timers.cpp.o"
+  "CMakeFiles/adaptive_timers.dir/adaptive_timers.cpp.o.d"
+  "adaptive_timers"
+  "adaptive_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

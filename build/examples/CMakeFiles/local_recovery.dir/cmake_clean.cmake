@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_recovery.dir/local_recovery.cpp.o"
+  "CMakeFiles/local_recovery.dir/local_recovery.cpp.o.d"
+  "local_recovery"
+  "local_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

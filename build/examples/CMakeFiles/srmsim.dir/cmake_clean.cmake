@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srmsim.dir/srmsim.cpp.o"
+  "CMakeFiles/srmsim.dir/srmsim.cpp.o.d"
+  "srmsim"
+  "srmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

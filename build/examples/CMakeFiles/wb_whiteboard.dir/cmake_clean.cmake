@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_whiteboard.dir/wb_whiteboard.cpp.o"
+  "CMakeFiles/wb_whiteboard.dir/wb_whiteboard.cpp.o.d"
+  "wb_whiteboard"
+  "wb_whiteboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_whiteboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/conformance.cpp" "src/harness/CMakeFiles/srm_harness.dir/conformance.cpp.o" "gcc" "src/harness/CMakeFiles/srm_harness.dir/conformance.cpp.o.d"
+  "/root/repo/src/harness/loss_round.cpp" "src/harness/CMakeFiles/srm_harness.dir/loss_round.cpp.o" "gcc" "src/harness/CMakeFiles/srm_harness.dir/loss_round.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/harness/CMakeFiles/srm_harness.dir/scenario.cpp.o" "gcc" "src/harness/CMakeFiles/srm_harness.dir/scenario.cpp.o.d"
+  "/root/repo/src/harness/session.cpp" "src/harness/CMakeFiles/srm_harness.dir/session.cpp.o" "gcc" "src/harness/CMakeFiles/srm_harness.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/srm/CMakeFiles/srm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/srm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/srm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_harness.dir/conformance.cpp.o"
+  "CMakeFiles/srm_harness.dir/conformance.cpp.o.d"
+  "CMakeFiles/srm_harness.dir/loss_round.cpp.o"
+  "CMakeFiles/srm_harness.dir/loss_round.cpp.o.d"
+  "CMakeFiles/srm_harness.dir/scenario.cpp.o"
+  "CMakeFiles/srm_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/srm_harness.dir/session.cpp.o"
+  "CMakeFiles/srm_harness.dir/session.cpp.o.d"
+  "libsrm_harness.a"
+  "libsrm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

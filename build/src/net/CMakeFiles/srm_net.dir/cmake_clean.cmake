@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_net.dir/drop_policy.cpp.o"
+  "CMakeFiles/srm_net.dir/drop_policy.cpp.o.d"
+  "CMakeFiles/srm_net.dir/network.cpp.o"
+  "CMakeFiles/srm_net.dir/network.cpp.o.d"
+  "CMakeFiles/srm_net.dir/routing.cpp.o"
+  "CMakeFiles/srm_net.dir/routing.cpp.o.d"
+  "CMakeFiles/srm_net.dir/topology.cpp.o"
+  "CMakeFiles/srm_net.dir/topology.cpp.o.d"
+  "libsrm_net.a"
+  "libsrm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

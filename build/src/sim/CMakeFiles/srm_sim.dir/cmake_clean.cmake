@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/srm_sim.dir/event_queue.cpp.o.d"
+  "libsrm_sim.a"
+  "libsrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srm/adaptive.cpp" "src/srm/CMakeFiles/srm_core.dir/adaptive.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/srm/agent.cpp" "src/srm/CMakeFiles/srm_core.dir/agent.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/agent.cpp.o.d"
+  "/root/repo/src/srm/baseline.cpp" "src/srm/CMakeFiles/srm_core.dir/baseline.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/srm/local_groups.cpp" "src/srm/CMakeFiles/srm_core.dir/local_groups.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/local_groups.cpp.o.d"
+  "/root/repo/src/srm/names.cpp" "src/srm/CMakeFiles/srm_core.dir/names.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/names.cpp.o.d"
+  "/root/repo/src/srm/parity.cpp" "src/srm/CMakeFiles/srm_core.dir/parity.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/parity.cpp.o.d"
+  "/root/repo/src/srm/session.cpp" "src/srm/CMakeFiles/srm_core.dir/session.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/session.cpp.o.d"
+  "/root/repo/src/srm/session_hierarchy.cpp" "src/srm/CMakeFiles/srm_core.dir/session_hierarchy.cpp.o" "gcc" "src/srm/CMakeFiles/srm_core.dir/session_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/srm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

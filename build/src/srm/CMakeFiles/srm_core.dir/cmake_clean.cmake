@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_core.dir/adaptive.cpp.o"
+  "CMakeFiles/srm_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/srm_core.dir/agent.cpp.o"
+  "CMakeFiles/srm_core.dir/agent.cpp.o.d"
+  "CMakeFiles/srm_core.dir/baseline.cpp.o"
+  "CMakeFiles/srm_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/srm_core.dir/local_groups.cpp.o"
+  "CMakeFiles/srm_core.dir/local_groups.cpp.o.d"
+  "CMakeFiles/srm_core.dir/names.cpp.o"
+  "CMakeFiles/srm_core.dir/names.cpp.o.d"
+  "CMakeFiles/srm_core.dir/parity.cpp.o"
+  "CMakeFiles/srm_core.dir/parity.cpp.o.d"
+  "CMakeFiles/srm_core.dir/session.cpp.o"
+  "CMakeFiles/srm_core.dir/session.cpp.o.d"
+  "CMakeFiles/srm_core.dir/session_hierarchy.cpp.o"
+  "CMakeFiles/srm_core.dir/session_hierarchy.cpp.o.d"
+  "libsrm_core.a"
+  "libsrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

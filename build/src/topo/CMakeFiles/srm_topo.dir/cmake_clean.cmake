@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_topo.dir/builders.cpp.o"
+  "CMakeFiles/srm_topo.dir/builders.cpp.o.d"
+  "libsrm_topo.a"
+  "libsrm_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

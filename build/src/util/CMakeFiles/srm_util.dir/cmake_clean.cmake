@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_util.dir/flags.cpp.o"
+  "CMakeFiles/srm_util.dir/flags.cpp.o.d"
+  "CMakeFiles/srm_util.dir/rng.cpp.o"
+  "CMakeFiles/srm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/srm_util.dir/stats.cpp.o"
+  "CMakeFiles/srm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/srm_util.dir/table.cpp.o"
+  "CMakeFiles/srm_util.dir/table.cpp.o.d"
+  "libsrm_util.a"
+  "libsrm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

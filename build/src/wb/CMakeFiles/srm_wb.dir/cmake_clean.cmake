@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_wb.dir/drawop.cpp.o"
+  "CMakeFiles/srm_wb.dir/drawop.cpp.o.d"
+  "CMakeFiles/srm_wb.dir/page.cpp.o"
+  "CMakeFiles/srm_wb.dir/page.cpp.o.d"
+  "CMakeFiles/srm_wb.dir/recorder.cpp.o"
+  "CMakeFiles/srm_wb.dir/recorder.cpp.o.d"
+  "CMakeFiles/srm_wb.dir/whiteboard.cpp.o"
+  "CMakeFiles/srm_wb.dir/whiteboard.cpp.o.d"
+  "libsrm_wb.a"
+  "libsrm_wb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_wb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for srm_wb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/timer_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/timer_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/srm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/srm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/srm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/srm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/srm/adaptive_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/adaptive_test.cpp.o.d"
+  "/root/repo/tests/srm/agent_details_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/agent_details_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/agent_details_test.cpp.o.d"
+  "/root/repo/tests/srm/agent_recovery_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/agent_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/agent_recovery_test.cpp.o.d"
+  "/root/repo/tests/srm/baseline_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/baseline_test.cpp.o.d"
+  "/root/repo/tests/srm/local_groups_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/local_groups_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/local_groups_test.cpp.o.d"
+  "/root/repo/tests/srm/messages_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/messages_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/messages_test.cpp.o.d"
+  "/root/repo/tests/srm/names_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/names_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/names_test.cpp.o.d"
+  "/root/repo/tests/srm/page_state_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/page_state_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/page_state_test.cpp.o.d"
+  "/root/repo/tests/srm/parity_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/parity_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/parity_test.cpp.o.d"
+  "/root/repo/tests/srm/rate_limiter_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/rate_limiter_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/rate_limiter_test.cpp.o.d"
+  "/root/repo/tests/srm/send_policy_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/send_policy_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/send_policy_test.cpp.o.d"
+  "/root/repo/tests/srm/session_hierarchy_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/session_hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/session_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/srm/session_test.cpp" "tests/CMakeFiles/srm_test.dir/srm/session_test.cpp.o" "gcc" "tests/CMakeFiles/srm_test.dir/srm/session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/srm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/srm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/srm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/srm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

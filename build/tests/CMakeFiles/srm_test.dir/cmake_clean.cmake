@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_test.dir/srm/adaptive_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/adaptive_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/agent_details_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/agent_details_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/agent_recovery_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/agent_recovery_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/baseline_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/baseline_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/local_groups_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/local_groups_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/messages_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/messages_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/names_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/names_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/page_state_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/page_state_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/parity_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/parity_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/rate_limiter_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/rate_limiter_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/send_policy_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/send_policy_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/session_hierarchy_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/session_hierarchy_test.cpp.o.d"
+  "CMakeFiles/srm_test.dir/srm/session_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm/session_test.cpp.o.d"
+  "srm_test"
+  "srm_test.pdb"
+  "srm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

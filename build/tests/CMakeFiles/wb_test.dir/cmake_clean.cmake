@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_test.dir/wb/drawop_test.cpp.o"
+  "CMakeFiles/wb_test.dir/wb/drawop_test.cpp.o.d"
+  "CMakeFiles/wb_test.dir/wb/page_test.cpp.o"
+  "CMakeFiles/wb_test.dir/wb/page_test.cpp.o.d"
+  "CMakeFiles/wb_test.dir/wb/recorder_test.cpp.o"
+  "CMakeFiles/wb_test.dir/wb/recorder_test.cpp.o.d"
+  "CMakeFiles/wb_test.dir/wb/whiteboard_test.cpp.o"
+  "CMakeFiles/wb_test.dir/wb/whiteboard_test.cpp.o.d"
+  "wb_test"
+  "wb_test.pdb"
+  "wb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
