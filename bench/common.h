@@ -4,19 +4,23 @@
 // mirrors the series each figure plots.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/loss_round.h"
+#include "harness/replication.h"
 #include "harness/scenario.h"
 #include "harness/session.h"
 #include "srm/config.h"
 #include "topo/builders.h"
 #include "util/flags.h"
+#include "util/perf_json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -97,5 +101,64 @@ inline void print_header(const std::string& title, std::uint64_t seed,
   util::print_banner(std::cout, title);
   std::cout << "seed=" << seed << "\n" << method << "\n\n";
 }
+
+// --threads N from the command line: 0/absent = hardware concurrency.
+// Trial *construction* (every RNG draw) stays serial in the caller, so the
+// per-seed statistics are identical for every thread count and --threads 1
+// reproduces the historical serial output bit-for-bit.
+inline unsigned flag_threads(const util::Flags& flags) {
+  const long long n = flags.get_int("threads", 0);
+  return n > 0 ? static_cast<unsigned>(n) : 0u;  // <=0 = hardware concurrency
+}
+
+// Runs one batch of independently-seeded trials across the replication
+// pool; results come back in spec order regardless of thread interleaving.
+inline std::vector<harness::RoundResult> run_trials(
+    std::vector<TrialSpec> specs, const harness::ReplicationRunner& runner) {
+  return runner.map<harness::RoundResult>(
+      specs.size(),
+      [&specs](std::size_t i) { return run_trial(std::move(specs[i])); });
+}
+
+// Wall-clock timer + BENCH_kernel.json section for one figure sweep.
+// Records wall-clock per sweep, thread count and replication throughput so
+// later PRs can compare kernel performance mechanically (see EXPERIMENTS.md
+// for the schema).  The JSON path is overridable with --bench-json=PATH;
+// --bench-json= (empty) disables recording.
+class SweepPerf {
+ public:
+  SweepPerf(const util::Flags& flags, const std::string& bench_name,
+            unsigned threads)
+      : path_(flags.get_string("bench-json", "BENCH_kernel.json")),
+        json_(path_, bench_name),
+        threads_(threads),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void add_replications(std::size_t n) { replications_ += n; }
+
+  // Writes the section (call once, after the sweep's tables are printed).
+  void finish() {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    if (path_.empty()) return;
+    json_.set("threads", static_cast<double>(threads_));
+    json_.set("replications", static_cast<double>(replications_));
+    json_.set("wall_seconds", wall.count());
+    if (wall.count() > 0) {
+      json_.set("replications_per_second", replications_ / wall.count());
+    }
+    json_.save();
+    std::cout << "\n[perf] " << path_ << " updated: wall="
+              << util::Table::num(wall.count(), 3) << "s threads=" << threads_
+              << " replications=" << replications_ << "\n";
+  }
+
+ private:
+  std::string path_;
+  util::PerfJson json_;
+  unsigned threads_;
+  std::size_t replications_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace srm::bench

@@ -3,6 +3,11 @@
 // each run differs only in the RNG seed for the timer choices.  Per round:
 // the number of requests and the (last-member) recovery delay.  With fixed
 // timer parameters, round N looks like round 1 — duplicates never improve.
+//
+// The runs are independent replications (each owns its session and evolves
+// its own 100 rounds), so they fan across --threads workers; per-round
+// samples are merged in run order, making every thread count print the
+// same numbers.
 #include "adaptive_scenario.h"
 
 int main(int argc, char** argv) {
@@ -12,30 +17,51 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(flags.get_int("runs", 10));
   const int rounds = static_cast<int>(flags.get_int("rounds", 100));
   const std::size_t nodes = 1000, g = 50;
+  const harness::ReplicationRunner runner(bench::flag_threads(flags));
+  bench::SweepPerf perf(flags, "fig12_nonadaptive", runner.threads());
 
   bench::print_header(
       "Figure 12: non-adaptive algorithm, duplicate-heavy scenario", seed,
       "tree 1000/deg4, G=50, fixed C1=C2=2, D1=D2=log10(G); " +
           std::to_string(runs) + " runs x " + std::to_string(rounds) +
-          " rounds on one scenario");
+          " rounds on one scenario; threads=" +
+          std::to_string(runner.threads()));
 
   const auto sc = bench::find_duplicate_heavy_scenario(nodes, g, seed);
 
-  // round -> samples across runs
+  struct RunSeries {
+    std::vector<double> requests;
+    std::vector<double> delay;
+  };
+  perf.add_replications(static_cast<std::size_t>(runs));
+  const auto series = runner.map<RunSeries>(
+      static_cast<std::size_t>(runs), [&](std::size_t run) {
+        SrmConfig cfg = bench::paper_sim_config(paper_fixed_params(g));
+        harness::SimSession session(
+            topo::make_bounded_degree_tree(nodes, 4), sc.members,
+            {cfg, seed + 1000 + static_cast<std::uint64_t>(run), 1});
+        harness::RoundSpec round;
+        round.source_node = sc.source;
+        round.congested = sc.congested;
+        round.page = PageId{static_cast<SourceId>(sc.source), 0};
+        RunSeries out;
+        out.requests.reserve(static_cast<std::size_t>(rounds));
+        out.delay.reserve(static_cast<std::size_t>(rounds));
+        for (int r = 0; r < rounds; ++r) {
+          const auto res = harness::run_loss_round(session, round, r * 2);
+          out.requests.push_back(static_cast<double>(res.requests));
+          out.delay.push_back(res.last_member_delay_rtt);
+        }
+        return out;
+      });
+
+  // round -> samples across runs, merged in run order (thread-count
+  // independent).
   std::vector<util::Samples> requests(rounds), delay(rounds);
-  for (int run = 0; run < runs; ++run) {
-    SrmConfig cfg = bench::paper_sim_config(paper_fixed_params(g));
-    harness::SimSession session(topo::make_bounded_degree_tree(nodes, 4),
-                                sc.members,
-                                {cfg, seed + 1000 + static_cast<std::uint64_t>(run), 1});
-    harness::RoundSpec round;
-    round.source_node = sc.source;
-    round.congested = sc.congested;
-    round.page = PageId{static_cast<SourceId>(sc.source), 0};
+  for (const RunSeries& s : series) {
     for (int r = 0; r < rounds; ++r) {
-      const auto res = harness::run_loss_round(session, round, r * 2);
-      requests[r].add(static_cast<double>(res.requests));
-      delay[r].add(res.last_member_delay_rtt);
+      requests[r].add(s.requests[r]);
+      delay[r].add(s.delay[r]);
     }
   }
 
@@ -54,5 +80,6 @@ int main(int argc, char** argv) {
             << "\nmean requests, last 10:       " << util::Table::num(late, 2)
             << "\nPaper check: no improvement across rounds (only noise); "
                "compare fig13.\n";
+  perf.finish();
   return 0;
 }

@@ -7,6 +7,10 @@
 //
 // Paper shape to match: medians of ~1 request and ~1 repair at every size,
 // last-member delay below ~2 RTT (competitive with unicast TCP recovery).
+//
+// Trials are independent replications: specs (and all RNG draws) are built
+// serially, then fanned across --threads workers; statistics are merged in
+// spec order, so every thread count prints the same numbers.
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -14,18 +18,22 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const std::uint64_t seed = flags.get_seed(42);
   const int trials = static_cast<int>(flags.get_int("trials", 20));
+  const harness::ReplicationRunner runner(bench::flag_threads(flags));
+  bench::SweepPerf perf(flags, "fig3_random_trees", runner.threads());
 
   bench::print_header(
       "Figure 3: random trees, density 1, random congested link", seed,
       "fixed timers C1=C2=2, D1=D2=log10(N); one drop per trial; " +
-          std::to_string(trials) + " trials per size");
+          std::to_string(trials) + " trials per size; threads=" +
+          std::to_string(runner.threads()));
 
   util::Rng rng(seed);
   util::Table table({"N", "requests med [q1,q3]", "repairs med [q1,q3]",
                      "delay/RTT med [q1,q3]", "delay/RTT mean"});
 
   for (std::size_t n = 10; n <= 100; n += 10) {
-    bench::PanelStats stats;
+    std::vector<bench::TrialSpec> specs;
+    specs.reserve(static_cast<std::size_t>(trials));
     for (int t = 0; t < trials; ++t) {
       bench::TrialSpec spec;
       spec.topo = topo::make_random_tree(n, rng);
@@ -39,7 +47,12 @@ int main(int argc, char** argv) {
                                                       spec.members, rng);
       spec.config = bench::paper_sim_config(paper_fixed_params(n));
       spec.seed = rng.next_u64();
-      stats.add(bench::run_trial(std::move(spec)));
+      specs.push_back(std::move(spec));
+    }
+    perf.add_replications(specs.size());
+    bench::PanelStats stats;
+    for (const auto& r : bench::run_trials(std::move(specs), runner)) {
+      stats.add(r);
     }
     table.add_row({util::Table::num(n),
                    bench::quartile_cell(stats.requests),
@@ -50,5 +63,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nPaper check: medians ~1 request, ~1 repair at all sizes;\n"
                "last-member delay ~<2 RTT (unicast TCP-style recovery ~2).\n";
+  perf.finish();
   return 0;
 }

@@ -3,7 +3,19 @@
 // loss-recovery round, distance-estimation updates, and the drawop codec.
 // These guard the simulator's own performance (the figure sweeps run tens
 // of thousands of rounds).
+//
+// The headline kernel numbers (ns/event, events/s, multicast deliveries/s,
+// loss-round wall time) are also recorded into BENCH_kernel.json
+// (--bench-json=PATH to relocate, --bench-json= to disable) so kernel
+// performance can be compared across PRs; see EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/perf_json.h"
 
 #include "harness/loss_round.h"
 #include "harness/session.h"
@@ -37,6 +49,36 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// SRM's suppressible timers make schedule/cancel/reschedule the kernel's
+// second hot loop: this exercises slab + free-list reuse under churn.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::size_t fired = 0;
+    std::vector<sim::EventHandle> handles(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] =
+          q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    // Suppress two out of three timers, then back them off (reschedule).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 3 != 0) handles[i].cancel();
+      if (i % 3 == 1) {
+        handles[i] =
+            q.schedule_at(100.0 + static_cast<double>(i % 13), [&fired] {
+              ++fired;
+            });
+      }
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(100000);
 
 void BM_SptComputation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -179,6 +221,98 @@ void BM_DrawOpCodecRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_DrawOpCodecRoundTrip);
 
+// Console output plus capture of the per-run numbers that feed
+// BENCH_kernel.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    double real_ns_per_iteration = 0.0;
+    double items_per_second = 0.0;
+    std::int64_t arg = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Captured c;
+      c.real_ns_per_iteration =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) c.items_per_second = it->second;
+      runs_[run.benchmark_name()] = c;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  // ns per processed item (event/delivery) for `name/arg`; 0 if missing.
+  double ns_per_item(const std::string& name, std::int64_t arg) const {
+    const auto it = runs_.find(name + "/" + std::to_string(arg));
+    if (it == runs_.end() || arg == 0) return 0.0;
+    return it->second.real_ns_per_iteration / static_cast<double>(arg);
+  }
+  double items_per_second(const std::string& name, std::int64_t arg) const {
+    const auto it = runs_.find(name + "/" + std::to_string(arg));
+    return it == runs_.end() ? 0.0 : it->second.items_per_second;
+  }
+  double ns_per_iteration(const std::string& full_name) const {
+    const auto it = runs_.find(full_name);
+    return it == runs_.end() ? 0.0 : it->second.real_ns_per_iteration;
+  }
+
+ private:
+  std::map<std::string, Captured> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernel.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--bench-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    srm::util::PerfJson json(json_path, "micro_kernel");
+    const double ns_per_event =
+        reporter.ns_per_item("BM_EventQueueScheduleRun", 100000);
+    if (ns_per_event > 0) {
+      json.set("event_queue_ns_per_event", ns_per_event);
+      json.set("event_queue_events_per_second",
+               reporter.items_per_second("BM_EventQueueScheduleRun", 100000));
+    }
+    const double churn =
+        reporter.items_per_second("BM_EventQueueCancelChurn", 100000);
+    if (churn > 0) json.set("event_queue_cancel_churn_events_per_second", churn);
+    const double deliveries =
+        reporter.items_per_second("BM_MulticastDelivery", 1000);
+    if (deliveries > 0) {
+      json.set("multicast_deliveries_per_second", deliveries);
+      json.set("multicast_ns_per_delivery",
+               reporter.ns_per_item("BM_MulticastDelivery", 1000));
+    }
+    const double round_ns =
+        reporter.ns_per_iteration("BM_FullLossRecoveryRound/100");
+    if (round_ns > 0) json.set("loss_round_g100_us", round_ns / 1e3);
+    // A filtered run that captured nothing must not wipe recorded metrics.
+    if (!json.empty()) json.save();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

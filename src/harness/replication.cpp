@@ -1,0 +1,14 @@
+#include "harness/replication.h"
+
+#include <algorithm>
+
+namespace srm::harness {
+
+unsigned default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ReplicationRunner::ReplicationRunner(unsigned threads)
+    : threads_(threads == 0 ? default_thread_count() : threads) {}
+
+}  // namespace srm::harness

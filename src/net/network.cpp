@@ -5,6 +5,10 @@
 
 namespace srm::net {
 
+namespace {
+const std::vector<NodeId> kNoMembers;
+}  // namespace
+
 MulticastNetwork::MulticastNetwork(sim::EventQueue& queue,
                                    const Topology& topo)
     : queue_(&queue),
@@ -29,27 +33,37 @@ void MulticastNetwork::join(GroupId g, NodeId n) {
   if (n >= topo_->node_count()) {
     throw std::out_of_range("MulticastNetwork::join: bad node");
   }
-  if (groups_[g].insert(n).second) ++membership_version_;
+  GroupState& group = groups_[g];
+  if (group.bits.empty()) {
+    group.bits.assign((topo_->node_count() + 63) / 64, 0);
+  }
+  if (group.test(n)) return;
+  group.bits[n >> 6] |= std::uint64_t{1} << (n & 63);
+  group.sorted.insert(
+      std::lower_bound(group.sorted.begin(), group.sorted.end(), n), n);
+  ++membership_version_;
 }
 
 void MulticastNetwork::leave(GroupId g, NodeId n) {
-  auto it = groups_.find(g);
-  if (it != groups_.end() && it->second.erase(n) > 0) ++membership_version_;
+  const auto it = groups_.find(g);
+  if (it == groups_.end() || n >= topo_->node_count() || !it->second.test(n)) {
+    return;
+  }
+  GroupState& group = it->second;
+  group.bits[n >> 6] &= ~(std::uint64_t{1} << (n & 63));
+  group.sorted.erase(
+      std::lower_bound(group.sorted.begin(), group.sorted.end(), n));
+  ++membership_version_;
 }
 
 bool MulticastNetwork::is_member(GroupId g, NodeId n) const {
   const auto it = groups_.find(g);
-  return it != groups_.end() && it->second.count(n) > 0;
+  return it != groups_.end() && n < topo_->node_count() && it->second.test(n);
 }
 
-std::vector<NodeId> MulticastNetwork::members(GroupId g) const {
-  std::vector<NodeId> out;
+const std::vector<NodeId>& MulticastNetwork::members(GroupId g) const {
   const auto it = groups_.find(g);
-  if (it != groups_.end()) {
-    out.assign(it->second.begin(), it->second.end());
-    std::sort(out.begin(), out.end());
-  }
-  return out;
+  return it != groups_.end() ? it->second.sorted : kNoMembers;
 }
 
 void MulticastNetwork::set_drop_policy(std::shared_ptr<DropPolicy> policy) {
@@ -65,20 +79,83 @@ const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
 
   const Spt& t = routing_.spt(root);
   entry.membership_version = membership_version_;
-  entry.need.assign(topo_->node_count(), false);
-  const auto it = groups_.find(group);
-  if (it != groups_.end()) {
-    for (NodeId m : it->second) {
+  entry.steps.clear();
+  entry.edges.clear();
+
+  // need[n]: node n lies on a path from the root to some group member.
+  need_scratch_.assign(topo_->node_count(), false);
+  const auto git = groups_.find(group);
+  const GroupState* gs = git != groups_.end() ? &git->second : nullptr;
+  if (gs != nullptr) {
+    for (NodeId m : gs->sorted) {
       // Mark the path from the member back to the root; stop early when we
       // reach an already-marked node (shared prefix).
       NodeId v = m;
-      while (!entry.need[v]) {
-        entry.need[v] = true;
+      while (!need_scratch_[v]) {
+        need_scratch_[v] = true;
         if (v == root) break;
         if (t.parent[v] == kInvalidNode) break;  // unreachable member
         v = t.parent[v];
       }
     }
+  }
+
+  // Flatten the needed subtree in the stack-DFS order described in the
+  // header.  parents[] remembers each step's parent step for the
+  // subtree-extent pass below.
+  struct BuildFrame {
+    NodeId node;
+    std::uint32_t parent_step;
+  };
+  std::vector<BuildFrame> stack;
+  std::vector<std::uint32_t> parents;
+  stack.push_back(BuildFrame{root, 0});
+  while (!stack.empty()) {
+    const BuildFrame f = stack.back();
+    stack.pop_back();
+    const auto step_index = static_cast<std::uint32_t>(entry.steps.size());
+    TraceStep step;
+    step.node = f.node;
+    step.member = f.node != root && gs != nullptr && gs->test(f.node);
+    step.subtree_end = step_index + 1;
+    step.first_edge = static_cast<std::uint32_t>(entry.edges.size());
+    step.edge_count = 0;
+    for (NodeId child : t.children[f.node]) {
+      if (!need_scratch_[child]) continue;
+      const Link& l = topo_->link(t.parent_link[child]);
+      TraceEdge edge;
+      edge.child = child;
+      edge.link = t.parent_link[child];
+      edge.delay = l.delay;
+      edge.threshold = l.threshold;
+      edge.child_step = 0;  // patched when the child's step is emitted
+      entry.edges.push_back(edge);
+      stack.push_back(BuildFrame{child, step_index});
+      ++step.edge_count;
+    }
+    entry.steps.push_back(step);
+    parents.push_back(f.parent_step);
+    if (f.node != root) {
+      // Patch the parent's edge that leads here.  Edges of one parent are
+      // consulted in SPT-children order but their subtrees are emitted in
+      // reverse (stack order), so search the parent's edge range.
+      TraceStep& p = entry.steps[f.parent_step];
+      for (std::uint32_t e = p.first_edge; e < p.first_edge + p.edge_count;
+           ++e) {
+        if (entry.edges[e].child == f.node) {
+          entry.edges[e].child_step = step_index;
+          break;
+        }
+      }
+    }
+  }
+  // Subtree extents: children always follow their parent, so a reverse scan
+  // folds each step's extent into its parent's.
+  for (std::uint32_t i = static_cast<std::uint32_t>(entry.steps.size()); i > 1;
+       --i) {
+    const std::uint32_t j = i - 1;
+    TraceStep& p = entry.steps[parents[j]];
+    p.subtree_end = std::max(p.subtree_end, entry.steps[j].subtree_end);
   }
   return entry;
 }
@@ -106,20 +183,41 @@ bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
   return true;
 }
 
-void MulticastNetwork::deliver(const Packet& packet, NodeId to, double delay,
-                               int hops_taken) {
+void MulticastNetwork::schedule_delivery(
+    const std::shared_ptr<const Packet>& packet, NodeId to, double delay,
+    int hops_taken) {
   PacketSink* sink = sinks_.at(to);
   if (sink == nullptr) return;
-  DeliveryInfo info;
-  info.receiver = to;
-  info.path_delay = delay;
-  info.hops = hops_taken;
-  info.remaining_ttl = packet.ttl - hops_taken;
+  std::uint32_t index;
+  if (!free_deliveries_.empty()) {
+    index = free_deliveries_.back();
+    free_deliveries_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(delivery_pool_.size());
+    delivery_pool_.emplace_back();
+  }
+  PendingDelivery& pd = delivery_pool_[index];
+  pd.packet = packet;
+  pd.info.receiver = to;
+  pd.info.path_delay = delay;
+  pd.info.hops = hops_taken;
+  pd.info.remaining_ttl = packet->ttl - hops_taken;
+  pd.sink = sink;
   ++stats_.deliveries;
-  queue_->schedule_after(delay, [this, packet, info, sink] {
-    sink->on_receive(packet, info);
-    if (delivery_observer_) delivery_observer_(packet, info);
-  });
+  // [this, index] fits std::function's inline buffer: no allocation per
+  // receiver, and the Packet is shared rather than copied per closure.
+  queue_->schedule_after(delay, [this, index] { fire_delivery(index); });
+}
+
+void MulticastNetwork::fire_delivery(std::uint32_t index) {
+  PendingDelivery& pd = delivery_pool_[index];
+  const std::shared_ptr<const Packet> packet = std::move(pd.packet);
+  const DeliveryInfo info = pd.info;
+  PacketSink* const sink = pd.sink;
+  pd.sink = nullptr;
+  free_deliveries_.push_back(index);  // freed first: the sink may multicast
+  sink->on_receive(*packet, info);
+  if (delivery_observer_) delivery_observer_(*packet, info);
 }
 
 void MulticastNetwork::multicast(NodeId from, Packet packet) {
@@ -130,36 +228,40 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
   ++stats_.multicasts_sent;
   if (send_observer_) send_observer_(from, packet);
 
-  const Spt& t = routing_.spt(from);
   const PrunedTree& tree = pruned(from, packet.group);
+  const auto shared = std::make_shared<const Packet>(std::move(packet));
+  const Packet& pkt = *shared;
 
-  // Iterative DFS over the member-pruned shortest-path tree.  Each directed
-  // link is traversed (and the drop policy consulted) at most once.
-  struct Frame {
-    NodeId node;
-    int ttl;
-    double delay;
-    int hops;
-  };
-  std::vector<Frame> stack;
-  stack.push_back(Frame{from, packet.ttl, 0.0, 0});
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
-    if (f.node != from && is_member(packet.group, f.node)) {
-      deliver(packet, f.node, f.delay, f.hops);
+  // Linear walk of the flattened tree.  Each directed link is traversed
+  // (and the drop policy consulted) at most once; a suppressed hop skips
+  // its whole subtree via the precomputed extent.
+  walk_scratch_.resize(tree.steps.size());
+  walk_scratch_[0] = WalkState{0.0, pkt.ttl, 0, false};
+  std::uint32_t i = 0;
+  const auto step_count = static_cast<std::uint32_t>(tree.steps.size());
+  while (i < step_count) {
+    const TraceStep& s = tree.steps[i];
+    const WalkState st = walk_scratch_[i];
+    if (st.blocked) {
+      i = s.subtree_end;
+      continue;
     }
-    for (NodeId child : t.children[f.node]) {
-      if (!tree.need.empty() && !tree.need[child]) continue;
-      LinkEnd edge{};
-      edge.peer = child;
-      edge.link = t.parent_link[child];
-      edge.delay = topo_->link(edge.link).delay;
-      edge.threshold = topo_->link(edge.link).threshold;
-      if (!hop_allowed(packet, f.ttl, edge, f.node)) continue;
-      stack.push_back(
-          Frame{child, f.ttl - 1, f.delay + edge.delay, f.hops + 1});
+    if (s.member) schedule_delivery(shared, s.node, st.delay, st.hops);
+    for (std::uint32_t e = s.first_edge; e < s.first_edge + s.edge_count;
+         ++e) {
+      const TraceEdge& edge = tree.edges[e];
+      WalkState& child = walk_scratch_[edge.child_step];
+      if (hop_allowed(pkt, st.ttl,
+                      LinkEnd{edge.child, edge.link, edge.delay,
+                              edge.threshold},
+                      s.node)) {
+        child = WalkState{st.delay + edge.delay, st.ttl - 1, st.hops + 1,
+                          false};
+      } else {
+        child.blocked = true;
+      }
     }
+    ++i;
   }
 }
 
@@ -179,7 +281,8 @@ void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
     delay += l.delay;
     --ttl;
   }
-  deliver(packet, to, delay, static_cast<int>(p.size()) - 1);
+  const auto shared = std::make_shared<const Packet>(std::move(packet));
+  schedule_delivery(shared, to, delay, static_cast<int>(p.size()) - 1);
 }
 
 }  // namespace srm::net

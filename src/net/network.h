@@ -6,13 +6,18 @@
 // source-rooted shortest-path tree, pruned to subtrees containing members
 // (DVMRP-style), with per-hop TTL decrement, Mbone TTL thresholds, optional
 // administrative scoping, and loss injected by a DropPolicy.
+//
+// Hot-path layout: group membership is a per-group bitmap plus a sorted
+// member list (O(1) is_member, O(1) members()); the member-pruned delivery
+// tree for each (root, group) is cached as a flattened traversal trace that
+// multicast() walks linearly — no hash lookups, no per-node stack frames —
+// and every delivery of one transmission shares a single immutable Packet.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/drop_policy.h"
@@ -44,8 +49,9 @@ class MulticastNetwork {
   void join(GroupId g, NodeId n);
   void leave(GroupId g, NodeId n);
   bool is_member(GroupId g, NodeId n) const;
-  // Members in deterministic (ascending NodeId) order.
-  std::vector<NodeId> members(GroupId g) const;
+  // Members in ascending NodeId order.  The store is kept sorted, so this
+  // is O(1); the reference is invalidated by the next join/leave.
+  const std::vector<NodeId>& members(GroupId g) const;
 
   // Loss injection; pass nullptr to clear.  Not owned exclusively: callers
   // usually keep a reference to rearm scripted drops between rounds.
@@ -91,14 +97,57 @@ class MulticastNetwork {
   const SendObserver& send_observer() const { return send_observer_; }
 
  private:
+  struct GroupState {
+    std::vector<std::uint64_t> bits;  // one bit per node
+    std::vector<NodeId> sorted;       // ascending node ids
+
+    bool test(NodeId n) const {
+      return (bits[n >> 6] >> (n & 63)) & 1u;
+    }
+  };
+
+  // Flattened member-pruned delivery tree for one (root, group).
+  //
+  // `steps` lists the tree's nodes in the exact order the previous
+  // stack-based DFS popped them (children of each node are expanded in SPT
+  // order, deepest-pushed popped first).  Each step's outgoing edges occupy
+  // a contiguous range of `edges` in consultation order, and a step's whole
+  // subtree occupies the contiguous step range [index, subtree_end) — so a
+  // hop suppressed by TTL/scope/drop skips its subtree with one index jump.
+  // Preserving that order keeps drop-policy RNG draws and event-queue FIFO
+  // tie-breaks bit-for-bit identical to the recursive traversal.
+  struct TraceStep {
+    NodeId node;
+    bool member;               // deliver here (group member, never the root)
+    std::uint32_t subtree_end;  // one past the last step of this subtree
+    std::uint32_t first_edge;
+    std::uint32_t edge_count;
+  };
+  struct TraceEdge {
+    NodeId child;
+    LinkId link;
+    double delay;
+    int threshold;
+    std::uint32_t child_step;
+  };
   struct PrunedTree {
     std::uint64_t membership_version = 0;
-    // need[n]: node n lies on a path from the root to some group member.
-    std::vector<bool> need;
+    std::vector<TraceStep> steps;
+    std::vector<TraceEdge> edges;
+  };
+
+  // Per-delivery state while walking a trace.
+  struct WalkState {
+    double delay;
+    int ttl;
+    int hops;
+    bool blocked;
   };
 
   const PrunedTree& pruned(NodeId root, GroupId group);
-  void deliver(const Packet& packet, NodeId to, double delay, int hops_taken);
+  void schedule_delivery(const std::shared_ptr<const Packet>& packet,
+                         NodeId to, double delay, int hops_taken);
+  void fire_delivery(std::uint32_t index);
   bool hop_allowed(const Packet& packet, int ttl_at_from,
                    const LinkEnd& edge, NodeId from);
 
@@ -106,13 +155,28 @@ class MulticastNetwork {
   const Topology* topo_;
   Routing routing_;
   std::vector<PacketSink*> sinks_;
-  std::unordered_map<GroupId, std::unordered_set<NodeId>> groups_;
+  std::unordered_map<GroupId, GroupState> groups_;
   std::uint64_t membership_version_ = 1;
   std::unordered_map<std::uint64_t, PrunedTree> pruned_cache_;
   std::shared_ptr<DropPolicy> drop_policy_;
   NetworkStats stats_;
   DeliveryObserver delivery_observer_;
   SendObserver send_observer_;
+
+  // Reused scratch for multicast() walks (events never interrupt a walk).
+  std::vector<WalkState> walk_scratch_;
+  std::vector<bool> need_scratch_;
+
+  // In-flight deliveries.  Entries are referenced from event closures by
+  // index, so one multicast copies its Packet exactly once and each
+  // per-receiver closure stays within std::function's inline buffer.
+  struct PendingDelivery {
+    std::shared_ptr<const Packet> packet;
+    DeliveryInfo info;
+    PacketSink* sink;
+  };
+  std::vector<PendingDelivery> delivery_pool_;
+  std::vector<std::uint32_t> free_deliveries_;
 };
 
 }  // namespace srm::net

@@ -1,18 +1,53 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace srm::sim {
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return queue_ != nullptr && queue_->handle_pending(slot_, generation_);
 }
 
 bool EventHandle::cancel() {
-  if (!pending()) return false;
-  state_->cancelled = true;
+  return queue_ != nullptr && queue_->handle_cancel(slot_, generation_);
+}
+
+bool EventQueue::handle_pending(std::uint32_t index,
+                                std::uint32_t generation) const {
+  if (index >= slot_count_) return false;
+  const Slot& s = slot(index);
+  return s.live && s.generation == generation;
+}
+
+bool EventQueue::handle_cancel(std::uint32_t index, std::uint32_t generation) {
+  if (!handle_pending(index, generation)) return false;
+  release_slot(index);
+  --live_;
+  // The heap entry stays behind as a tombstone; its generation no longer
+  // matches the slot's, so prune_top()/pop skip it lazily.
   return true;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  if ((slot_count_ & (kSlabSize - 1)) == 0) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.live = false;
+  ++s.generation;       // invalidates outstanding handles and heap tombstones
+  s.fn = nullptr;       // destroy the closure (and anything it keeps alive)
+  free_slots_.push_back(index);
 }
 
 EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
@@ -22,9 +57,14 @@ EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
   if (!fn) {
     throw std::invalid_argument("EventQueue::schedule_at: empty function");
   }
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{t, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  s.live = true;
+  heap_.push_back(HeapEntry{t, next_seq_++, index, s.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle(this, index, s.generation);
 }
 
 EventHandle EventQueue::schedule_after(Time dt, std::function<void()> fn) {
@@ -34,18 +74,31 @@ EventHandle EventQueue::schedule_after(Time dt, std::function<void()> fn) {
   return schedule_at(now_ + dt, std::move(fn));
 }
 
-bool EventQueue::pop_and_run_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the event is copied out, then popped.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.state->cancelled) continue;
-    now_ = ev.when;
-    ev.state->fired = true;
-    ev.fn();
-    return true;
+bool EventQueue::prune_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Slot& s = slot(top.slot);
+    if (s.live && s.generation == top.generation) return true;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
   return false;
+}
+
+bool EventQueue::pop_and_run_one() {
+  if (!prune_top()) return false;
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  now_ = top.when;
+  // Move the closure out and release the slot before running, so the event
+  // body can schedule new events (possibly reusing this very slot).
+  std::function<void()> fn = std::move(slot(top.slot).fn);
+  release_slot(top.slot);
+  --live_;
+  ++executed_total_;
+  fn();
+  return true;
 }
 
 std::size_t EventQueue::run() {
@@ -58,7 +111,7 @@ std::size_t EventQueue::run() {
 std::size_t EventQueue::run_until(Time t_end) {
   stopped_ = false;
   std::size_t executed = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().when <= t_end) {
+  while (!stopped_ && prune_top() && heap_.front().when <= t_end) {
     if (pop_and_run_one()) ++executed;
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
@@ -73,7 +126,14 @@ std::size_t EventQueue::run_steps(std::size_t max_events) {
 }
 
 void EventQueue::reset() {
-  while (!queue_.empty()) queue_.pop();
+  // Release every still-live slot so outstanding handles report
+  // pending() == false (their stored generation no longer matches).
+  for (const HeapEntry& e : heap_) {
+    Slot& s = slot(e.slot);
+    if (s.live && s.generation == e.generation) release_slot(e.slot);
+  }
+  heap_.clear();
+  live_ = 0;
   now_ = 0.0;
   next_seq_ = 0;
   stopped_ = false;

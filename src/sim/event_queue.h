@@ -9,20 +9,34 @@
 // EventHandle that can cancel the event (used for SRM's suppressible
 // request/repair timers).  Events at equal times fire in scheduling order
 // (FIFO tie-break), which keeps runs deterministic.
+//
+// Implementation: events live in a slab-allocated pool of stable Slots
+// (closure storage is reused across events, so a schedule/cancel/reschedule
+// cycle costs no heap churn beyond what the closure itself needs).  The
+// ready queue is a binary heap of small POD entries.  Handles are
+// generation-stamped (queue pointer, slot index, generation): cancellation
+// marks the slot free and bumps its generation, so stale handles — including
+// every handle outstanding across reset() — become inert without any
+// shared-ownership bookkeeping.  A handle must not be used after its
+// EventQueue has been destroyed (in practice handles are owned by agents
+// that the queue outlives, e.g. inside a SimSession).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 namespace srm::sim {
 
 using Time = double;  // seconds of virtual time
 
+class EventQueue;
+
 // Handle to a scheduled event.  Default-constructed handles are inert.
 // Cancelling an already-fired or already-cancelled event is a no-op.
+// Copies share the underlying event: cancelling through one copy makes
+// every copy report pending() == false.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -34,13 +48,12 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
@@ -67,32 +80,70 @@ class EventQueue {
   // Requests that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending_events() const { return live_; }
 
-  // Clears all pending events (they are treated as cancelled) and resets the
-  // clock to zero.  Used between independent simulation rounds.
+  // Total events executed over the queue's lifetime (not reset by reset());
+  // benches use this for events/s accounting.
+  std::uint64_t executed_events() const { return executed_total_; }
+
+  // Clears all pending events (they are treated as cancelled: outstanding
+  // EventHandles report pending() == false) and resets the clock to zero.
+  // Used between independent simulation rounds.
   void reset();
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // Closure storage.  Slots live in fixed-size slabs so they never move;
+  // a slot's generation is bumped every time it is released, which
+  // invalidates any handle (and any stale heap entry) still pointing at it.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 0;
+    bool live = false;  // scheduled and not yet fired/cancelled
+  };
+  static constexpr std::uint32_t kSlabBits = 10;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  // Heap entries are small PODs: sifting moves 24 bytes, never a closure.
+  struct HeapEntry {
     Time when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  Slot& slot(std::uint32_t index) {
+    return slabs_[index >> kSlabBits][index & (kSlabSize - 1)];
+  }
+  const Slot& slot(std::uint32_t index) const {
+    return slabs_[index >> kSlabBits][index & (kSlabSize - 1)];
+  }
+  bool handle_pending(std::uint32_t index, std::uint32_t generation) const;
+  bool handle_cancel(std::uint32_t index, std::uint32_t generation);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  // Drops cancelled entries off the top; returns false if no live event.
+  bool prune_top();
   bool pop_and_run_one();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t slot_count_ = 0;  // slots ever allocated (all slabs)
+  std::size_t live_ = 0;          // scheduled minus cancelled/fired
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_total_ = 0;
   bool stopped_ = false;
 };
 

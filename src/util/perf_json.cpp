@@ -1,0 +1,184 @@
+#include "util/perf_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace srm::util {
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+// Parses a JSON string literal at s[i] (expects '"'); returns false on
+// malformed input.  Escapes are kept verbatim except \" and \\ which are
+// resolved, which is all this writer ever emits.
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size() &&
+        (s[i + 1] == '"' || s[i + 1] == '\\')) {
+      out.push_back(s[i + 1]);
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+      ++i;
+    }
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+// A scalar value: a string literal or a run of non-delimiter characters
+// (number / true / false / null).  Stored as raw JSON text.
+bool parse_value(const std::string& s, std::size_t& i, std::string& out) {
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '"') {
+    std::string inner;
+    if (!parse_string(s, i, inner)) return false;
+    out = "\"" + inner + "\"";
+    return true;
+  }
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  out = s.substr(start, i - start);
+  return !out.empty();
+}
+
+bool parse_flat_object(const std::string& s, std::size_t& i,
+                       std::map<std::string, std::string>& out) {
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  for (;;) {
+    skip_ws(s, i);
+    std::string key;
+    if (!parse_string(s, i, key)) return false;
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    std::string value;
+    if (!parse_value(s, i, value)) return false;
+    out[key] = value;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string render_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  // Shortest round-trippable form is overkill for perf metrics; %.6g keeps
+  // the file diff-friendly.
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+PerfJson::PerfJson(std::string path, std::string section)
+    : path_(std::move(path)), section_(std::move(section)) {}
+
+void PerfJson::set(const std::string& key, double value) {
+  values_[key] = render_number(value);
+}
+
+void PerfJson::set(const std::string& key, const std::string& value) {
+  values_[key] = quote(value);
+}
+
+std::map<std::string, std::map<std::string, std::string>> PerfJson::load(
+    const std::string& path) {
+  std::map<std::string, std::map<std::string, std::string>> sections;
+  std::ifstream in(path);
+  if (!in) return sections;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') return {};
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') return sections;
+  for (;;) {
+    skip_ws(text, i);
+    std::string name;
+    if (!parse_string(text, i, name)) return {};
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') return {};
+    ++i;
+    std::map<std::string, std::string> section;
+    if (!parse_flat_object(text, i, section)) return {};
+    sections[name] = std::move(section);
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return sections;
+    return {};
+  }
+}
+
+bool PerfJson::save() const {
+  auto sections = load(path_);
+  sections[section_] = values_;
+
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  bool first_section = true;
+  for (const auto& [name, metrics] : sections) {
+    if (!first_section) out << ",\n";
+    first_section = false;
+    out << "  " << quote(name) << ": {";
+    bool first_key = true;
+    for (const auto& [key, value] : metrics) {
+      if (!first_key) out << ",";
+      first_key = false;
+      out << "\n    " << quote(key) << ": " << value;
+    }
+    if (!metrics.empty()) out << "\n  ";
+    out << "}";
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace srm::util

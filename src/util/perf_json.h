@@ -1,0 +1,58 @@
+// Machine-readable performance trajectory output.
+//
+// Kernel benches record their headline numbers (ns/event, events/s,
+// deliveries/s, wall-clock per sweep) into one shared JSON file —
+// BENCH_kernel.json by convention — so successive PRs can diff kernel
+// performance mechanically instead of eyeballing bench logs.
+//
+// The file is a two-level JSON object: top-level keys are sections (one per
+// bench binary), each mapping metric names to numbers or strings:
+//
+//   {
+//     "fig3_random_trees": {"threads": 4, "wall_seconds": 1.25, ...},
+//     "micro_kernel": {"event_queue_ns_per_event": 231.4, ...}
+//   }
+//
+// A writer owns one section: save() re-reads the file and rewrites it with
+// only that section replaced, so independent benches compose.  Parsing is
+// restricted to this two-level shape; an unreadable file is treated as
+// empty rather than an error (perf records must never fail a bench run).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace srm::util {
+
+class PerfJson {
+ public:
+  // `path` is the JSON file; `section` is the top-level key this writer
+  // owns (conventionally the bench binary's name).
+  PerfJson(std::string path, std::string section);
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+
+  // True while no metric has been set; lets callers skip save() instead of
+  // replacing their section with an empty object (e.g. a filtered bench run
+  // that captured none of its headline numbers).
+  bool empty() const { return values_.empty(); }
+
+  // Merges this writer's section into the file (other sections preserved,
+  // keys emitted in sorted order).  Returns false if the file could not be
+  // written.
+  bool save() const;
+
+  // Parses a two-level metrics file into section -> key -> raw JSON value
+  // text.  Returns an empty map on any parse error.  Exposed for tests and
+  // for tools that compare metrics across runs.
+  static std::map<std::string, std::map<std::string, std::string>> load(
+      const std::string& path);
+
+ private:
+  std::string path_;
+  std::string section_;
+  std::map<std::string, std::string> values_;  // key -> rendered JSON value
+};
+
+}  // namespace srm::util

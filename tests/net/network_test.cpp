@@ -228,6 +228,62 @@ TEST_F(NetworkTest, MembershipChangeInvalidatesPrunedTree) {
   EXPECT_EQ(sinks_[3]->received.size(), 1u);
 }
 
+TEST_F(NetworkTest, JoinLeaveMidRunInvalidatesPrunedTree) {
+  // Membership changes from *inside* scheduled events (agents joining and
+  // leaving while traffic is in flight) must invalidate the cached
+  // traversal for subsequent multicasts.
+  build_chain(5);
+  net_->join(1, 2);
+  net_->join(1, 4);
+  net_->multicast(0, make_packet(1));  // caches the (0, 1) traversal
+  queue_.schedule_at(10.0, [&] {
+    net_->leave(1, 4);
+    net_->join(1, 3);
+    net_->multicast(0, make_packet(1));
+  });
+  queue_.run();
+  EXPECT_EQ(sinks_[2]->received.size(), 2u);
+  EXPECT_EQ(sinks_[3]->received.size(), 1u);  // joined mid-run
+  EXPECT_EQ(sinks_[4]->received.size(), 1u);  // left mid-run
+}
+
+TEST_F(NetworkTest, RejoinAfterLeaveRestoresDelivery) {
+  build_chain(3);
+  net_->join(1, 2);
+  net_->leave(1, 2);
+  net_->join(1, 2);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  EXPECT_EQ(sinks_[2]->received.size(), 1u);
+  EXPECT_EQ(net_->members(1), (std::vector<NodeId>{2}));
+}
+
+TEST_F(NetworkTest, MembersStaySortedUnderChurn) {
+  build_chain(6);
+  for (NodeId v : {5u, 1u, 3u, 0u, 4u, 2u}) net_->join(1, v);
+  EXPECT_EQ(net_->members(1), (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+  net_->leave(1, 3);
+  net_->leave(1, 0);
+  EXPECT_EQ(net_->members(1), (std::vector<NodeId>{1, 2, 4, 5}));
+  net_->join(1, 3);
+  EXPECT_EQ(net_->members(1), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  // Duplicate join / spurious leave are no-ops.
+  net_->join(1, 3);
+  net_->leave(1, 0);
+  EXPECT_EQ(net_->members(1), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(NetworkTest, OneMulticastSharesOnePacketAcrossReceivers) {
+  build_chain(4);
+  for (NodeId v = 0; v < 4; ++v) net_->join(1, v);
+  net_->multicast(0, make_packet(1));
+  queue_.run();
+  // All receivers observe the same immutable payload instance.
+  const Message* payload = sinks_[1]->received[0].packet.payload.get();
+  EXPECT_EQ(sinks_[2]->received[0].packet.payload.get(), payload);
+  EXPECT_EQ(sinks_[3]->received[0].packet.payload.get(), payload);
+}
+
 TEST_F(NetworkTest, ObserversSeeTraffic) {
   build_chain(3);
   net_->join(1, 2);

@@ -3,6 +3,7 @@
 // the delivery tree independently and the composition must behave.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
 
 #include "net/network.h"

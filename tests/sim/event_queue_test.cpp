@@ -141,6 +141,114 @@ TEST(EventQueueTest, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(q.now(), 0.0);
 }
 
+TEST(EventQueueTest, ResetCancelsOutstandingHandles) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule_at(5.0, [&] { ran = true; });
+  ASSERT_TRUE(h.pending());
+  q.reset();
+  // A handle that survived reset must read as cancelled, not pending forever.
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, ResetThenReuseIsClean) {
+  EventQueue q;
+  std::vector<EventHandle> stale;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      stale.push_back(q.schedule_at(static_cast<double>(i), [] {}));
+    }
+    q.reset();
+  }
+  for (const EventHandle& h : stale) EXPECT_FALSE(h.pending());
+  // The queue is fully usable after repeated resets: FIFO order intact.
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.run(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, StaleHandleCannotTouchRecycledSlot) {
+  EventQueue q;
+  EventHandle first = q.schedule_at(1.0, [] {});
+  ASSERT_TRUE(first.cancel());
+  // The next schedule recycles the same storage; the stale handle must not
+  // see — let alone cancel — the new event.
+  bool ran = false;
+  EventHandle second = q.schedule_at(2.0, [&] { ran = true; });
+  EXPECT_FALSE(first.pending());
+  EXPECT_FALSE(first.cancel());
+  EXPECT_TRUE(second.pending());
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelHeavyInterleavings) {
+  // SRM-style timer churn: schedule, suppress, back off (reschedule), fire.
+  EventQueue q;
+  constexpr int kTimers = 500;
+  std::vector<EventHandle> handles(kTimers);
+  std::vector<int> fired;
+  for (int i = 0; i < kTimers; ++i) {
+    handles[i] = q.schedule_at(static_cast<double>(i % 7) + 1.0,
+                               [&fired, i] { fired.push_back(i); });
+  }
+  int expected = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    if (i % 3 == 0) {
+      ++expected;  // left alone: fires at original time
+    } else if (i % 3 == 1) {
+      // Suppressed, then re-armed later (back-off): fires exactly once.
+      EXPECT_TRUE(handles[i].cancel());
+      handles[i] = q.schedule_at(50.0 + static_cast<double>(i % 5),
+                                 [&fired, i] { fired.push_back(i); });
+      ++expected;
+    } else {
+      EXPECT_TRUE(handles[i].cancel());  // suppressed for good
+      EXPECT_FALSE(handles[i].cancel());
+    }
+  }
+  EXPECT_EQ(q.run(), static_cast<std::size_t>(expected));
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(expected));
+  for (const EventHandle& h : handles) EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, PendingEventsExcludesCancelled) {
+  EventQueue q;
+  EventHandle a = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending_events(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.pending_events(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle head = q.schedule_at(1.0, [] { FAIL() << "cancelled event ran"; });
+  q.schedule_at(2.0, [&] { ran = true; });
+  head.cancel();
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, CancelFromInsideEvent) {
+  EventQueue q;
+  EventHandle victim;
+  q.schedule_at(1.0, [&] { EXPECT_TRUE(victim.cancel()); });
+  victim = q.schedule_at(2.0, [] { FAIL() << "suppressed event ran"; });
+  EXPECT_EQ(q.run(), 1u);
+}
+
 TEST(EventQueueTest, CancelledEventsNotCounted) {
   EventQueue q;
   EventHandle h = q.schedule_at(1.0, [] {});
