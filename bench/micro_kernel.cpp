@@ -26,6 +26,7 @@
 #include "harness/scenario.h"
 #include "srm/adaptive.h"
 #include "srm/session.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 #include "wb/drawop.h"
 #include "wb/page.h"
@@ -33,6 +34,16 @@
 namespace {
 
 using namespace srm;
+
+// Cheapest possible sink: measures instrumentation cost, not storage cost.
+class CountingSink : public trace::Sink {
+ public:
+  void on_event(const trace::Event&) override { ++count_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -79,6 +90,33 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueCancelChurn)->Arg(100000);
+
+// Same loop as BM_EventQueueScheduleRun but with sim tracing ENABLED into a
+// counting sink; the delta against the plain run is the per-event cost of
+// emitting schedule + fire records.  (The plain run already measures the
+// compiled-in-but-disabled path, which PR acceptance bounds at <3% of the
+// committed baseline.)
+void BM_EventQueueScheduleRunTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CountingSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSim));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    q.set_tracer(&tracer);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  benchmark::DoNotOptimize(sink.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRunTraced)->Arg(100000);
 
 void BM_SptComputation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -131,6 +169,46 @@ void BM_MulticastDelivery(benchmark::State& state) {
                           static_cast<std::int64_t>(n - 1));
 }
 BENCHMARK(BM_MulticastDelivery)->Arg(100)->Arg(1000);
+
+// Multicast fan-out with net tracing ENABLED (send + per-member deliver
+// records) into a counting sink.
+void BM_MulticastDeliveryTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = topo::make_bounded_degree_tree(n, 4);
+  sim::EventQueue queue;
+  net::MulticastNetwork net(queue, topo);
+  CountingSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kNet));
+  net.set_tracer(&tracer);
+
+  class NullSink : public net::PacketSink {
+   public:
+    void on_receive(const net::Packet&, const net::DeliveryInfo&) override {}
+  };
+  std::vector<std::unique_ptr<NullSink>> sinks;
+  for (net::NodeId v = 0; v < n; ++v) {
+    sinks.push_back(std::make_unique<NullSink>());
+    net.attach(v, sinks.back().get());
+    net.join(1, v);
+  }
+  class Tiny : public net::Message {
+   public:
+    std::string describe() const override { return "tiny"; }
+  };
+  for (auto _ : state) {
+    net::Packet p;
+    p.group = 1;
+    p.payload = std::make_shared<Tiny>();
+    net.multicast(0, std::move(p));
+    queue.run();
+  }
+  benchmark::DoNotOptimize(sink.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_MulticastDeliveryTraced)->Arg(1000);
 
 void BM_FullLossRecoveryRound(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -310,6 +388,19 @@ int main(int argc, char** argv) {
     const double round_ns =
         reporter.ns_per_iteration("BM_FullLossRecoveryRound/100");
     if (round_ns > 0) json.set("loss_round_g100_us", round_ns / 1e3);
+    // Enabled-tracing variants: the gap to the plain numbers above is the
+    // cost of actually emitting records (the plain runs already pay the
+    // compiled-in-but-disabled guard).
+    const double traced_event =
+        reporter.ns_per_item("BM_EventQueueScheduleRunTraced", 100000);
+    if (traced_event > 0) {
+      json.set("event_queue_traced_ns_per_event", traced_event);
+    }
+    const double traced_delivery =
+        reporter.ns_per_item("BM_MulticastDeliveryTraced", 1000);
+    if (traced_delivery > 0) {
+      json.set("multicast_traced_ns_per_delivery", traced_delivery);
+    }
     // A filtered run that captured nothing must not wipe recorded metrics.
     if (!json.empty()) json.save();
   }

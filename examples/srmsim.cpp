@@ -10,32 +10,49 @@
 //   ./examples/srmsim --topo=transit-stub --members=60 --rounds=20
 //   ./examples/srmsim --topo=star --nodes=100 --c1=0 --c2=50
 //
-// Flags (defaults in brackets):
-//   --topo       btree | random-tree | random-graph | chain | star | ring |
-//                dumbbell | transit-stub | lans            [btree]
-//   --nodes      topology size                             [1000]
-//   --degree     interior degree for btree                 [4]
-//   --edges      edge count for random-graph               [3*nodes/2]
-//   --members    session size (0 = all nodes)              [50]
-//   --rounds     loss-recovery rounds                      [10]
-//   --adaptive   adaptive timer adjustment                 [false]
-//   --c1/c2/d1/d2  timer parameters                        [2/2/log10 G]
-//   --backoff    request-timer backoff multiplier          [3]
-//   --seed       RNG seed                                  [1]
-//   --verbose    print every request/repair                [false]
+// Run `srmsim --help` for the flag table (kept in sync with README.md by
+// scripts/check_docs.py).
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "harness/conformance.h"
 #include "harness/loss_round.h"
 #include "harness/scenario.h"
 #include "harness/session.h"
 #include "topo/builders.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace srm;
+
+// The authoritative flag table; README.md's srmsim section mirrors it and
+// scripts/check_docs.py fails CI if the two drift apart.
+constexpr const char* kUsage = R"(srmsim: SRM loss-recovery scenario driver
+
+Flags (defaults in brackets):
+  --topo          btree | random-tree | random-graph | chain | star | ring |
+                  dumbbell | transit-stub | lans            [btree]
+  --nodes         topology size                             [1000]
+  --degree        interior degree for btree                 [4]
+  --edges         edge count for random-graph               [3*nodes/2]
+  --members       session size (0 = all nodes)              [50]
+  --rounds        loss-recovery rounds                      [10]
+  --adaptive      adaptive timer adjustment                 [false]
+  --c1 --c2       request timer parameters                  [2/2]
+  --d1 --d2       repair timer parameters                   [log10 G]
+  --backoff       request-timer backoff multiplier          [3]
+  --seed          RNG seed                                  [1]
+  --verbose       print every request/repair                [false]
+  --trace         write a structured trace to this file     [off]
+  --trace-mask    categories: sim,net,srm | all | none      [srm]
+  --trace-format  jsonl | binary                            [jsonl]
+  --help          print this table and exit
+)";
 
 struct BuiltTopology {
   net::Topology topo;
@@ -103,6 +120,10 @@ BuiltTopology build_topology(const std::string& kind, std::size_t nodes,
 int main(int argc, char** argv) {
   using namespace srm;
   const util::Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
   const std::string kind = flags.get_string("topo", "btree");
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 1000));
   const int degree = static_cast<int>(flags.get_int("degree", 4));
@@ -112,6 +133,14 @@ int main(int argc, char** argv) {
   const int rounds = static_cast<int>(flags.get_int("rounds", 10));
   const std::uint64_t seed = flags.get_seed(1);
   const bool verbose = flags.get_bool("verbose", false);
+  const std::string trace_path = flags.get_string("trace", "");
+  const std::uint32_t trace_mask =
+      trace::parse_mask(flags.get_string("trace-mask", "srm"));
+  const std::string trace_format = flags.get_string("trace-format", "jsonl");
+  if (trace_format != "jsonl" && trace_format != "binary") {
+    std::cerr << "srmsim: unknown --trace-format: " << trace_format << "\n";
+    return 1;
+  }
 
   util::Rng rng(seed);
   BuiltTopology built = build_topology(kind, nodes, degree, edges, rng);
@@ -141,6 +170,31 @@ int main(int argc, char** argv) {
                               {cfg, seed, /*group=*/1});
   harness::ConformanceChecker checker(session.network(), session.directory(),
                                       cfg.holddown_multiplier);
+
+  // Structured tracing: one Tracer + file sink for the whole run.
+  std::ofstream trace_file;
+  std::unique_ptr<trace::Sink> trace_sink;
+  trace::Tracer tracer;
+  if (!trace_path.empty()) {
+    const auto mode = trace_format == "binary"
+                          ? std::ios::out | std::ios::binary
+                          : std::ios::out;
+    trace_file.open(trace_path, mode);
+    if (!trace_file) {
+      std::cerr << "srmsim: cannot open --trace file: " << trace_path << "\n";
+      return 1;
+    }
+    if (trace_format == "binary") {
+      trace_sink = std::make_unique<trace::BinarySink>(trace_file);
+    } else {
+      trace_sink = std::make_unique<trace::JsonlSink>(trace_file);
+    }
+    tracer.set_sink(trace_sink.get());
+    tracer.set_mask(trace_mask);
+    session.set_tracer(&tracer);
+    std::cout << "tracing " << trace::format_mask(trace_mask) << " ("
+              << trace_format << ") to " << trace_path << "\n";
+  }
   if (verbose) {
     session.network().set_send_observer(
         [&](net::NodeId from, const net::Packet& p) {
@@ -161,8 +215,12 @@ int main(int argc, char** argv) {
   spec.source_node = source;
   spec.congested = congested;
   spec.page = PageId{static_cast<SourceId>(source), 0};
+  std::size_t total_requests = 0;
+  std::size_t total_repairs = 0;
   for (int r = 0; r < rounds; ++r) {
     const auto res = harness::run_loss_round(session, spec, r * 2);
+    total_requests += res.requests;
+    total_repairs += res.repairs;
     table.add_row({util::Table::num(static_cast<std::size_t>(r + 1)),
                    util::Table::num(res.affected),
                    util::Table::num(res.requests),
@@ -183,5 +241,38 @@ int main(int argc, char** argv) {
             << session.network().stats().link_transmissions
             << " link transmissions, " << session.network().stats().drops
             << " drops\n";
-  return checker.clean() ? 0 : 1;
+
+  // Fold the trace back into per-loss recovery stories and cross-check the
+  // reconstruction against the aggregate per-round counters.
+  bool trace_ok = true;
+  if (!trace_path.empty()) {
+    trace_sink->flush();
+    trace_file.close();
+    const auto mode = trace_format == "binary"
+                          ? std::ios::in | std::ios::binary
+                          : std::ios::in;
+    std::ifstream in(trace_path, mode);
+    const std::vector<trace::Event> events = trace_format == "binary"
+                                                 ? trace::read_binary(in)
+                                                 : trace::read_jsonl(in);
+    const auto timeline = trace::RecoveryTimeline::fold(events);
+    std::cout << "\n" << timeline.summary();
+    if ((trace_mask & static_cast<std::uint32_t>(trace::Category::kSrm)) !=
+        0) {
+      trace_ok = timeline.total_requests() == total_requests &&
+                 timeline.total_repairs() == total_repairs;
+      std::cout << "trace self-check: ";
+      if (trace_ok) {
+        std::cout << "OK (" << timeline.total_requests() << " requests, "
+                  << timeline.total_repairs()
+                  << " repairs match aggregate counters)\n";
+      } else {
+        std::cout << "MISMATCH (timeline " << timeline.total_requests()
+                  << " requests / " << timeline.total_repairs()
+                  << " repairs vs aggregate " << total_requests << " / "
+                  << total_repairs << ")\n";
+      }
+    }
+  }
+  return checker.clean() && trace_ok ? 0 : 1;
 }

@@ -51,6 +51,17 @@ class SimSession {
     for (auto& a : agents_) fn(*a);
   }
 
+  // Points the whole world (event queue, network, every agent) at one
+  // Tracer.  The caller owns the tracer and its sink and keeps both alive
+  // for the session's lifetime; &trace::Tracer::null() detaches.  Tracers
+  // are per-session, never shared across ReplicationRunner workers, which
+  // is what keeps traces bit-identical across --threads values.
+  void set_tracer(trace::Tracer* tracer) {
+    queue_.set_tracer(tracer);
+    network_.set_tracer(tracer);
+    for (auto& a : agents_) a->set_tracer(tracer);
+  }
+
  private:
   net::Topology topo_;
   sim::EventQueue queue_;

@@ -7,6 +7,10 @@ namespace srm::net {
 
 namespace {
 const std::vector<NodeId> kNoMembers;
+
+std::uint32_t kind_of(const Packet& packet) {
+  return packet.payload ? packet.payload->trace_kind() : 0;
+}
 }  // namespace
 
 MulticastNetwork::MulticastNetwork(sim::EventQueue& queue,
@@ -162,21 +166,38 @@ const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
 
 bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
                                    const LinkEnd& edge, NodeId from) {
+  const auto trace_hop = [&](trace::EventType type, std::uint64_t d) {
+    if (!tracer_->wants(trace::Category::kNet)) return;
+    trace::Event ev;
+    ev.type = type;
+    ev.t = queue_->now();
+    ev.actor = from;
+    ev.a = packet.group;
+    ev.b = kind_of(packet);
+    ev.c = edge.peer;
+    ev.d = d;
+    tracer_->emit(ev);
+  };
   // Mbone forwarding rule: a packet is forwarded on a link only if its TTL
   // is at least the link's threshold (Sec. VII-B.3).
   if (ttl_at_from < 1 || ttl_at_from < edge.threshold) {
     ++stats_.ttl_prunes;
+    trace_hop(trace::EventType::kNetPrune,
+              static_cast<std::uint64_t>(ttl_at_from));
     return false;
   }
   // Administrative scoping confines the packet to the sender's region.
   if (packet.scope == Scope::kAdmin &&
       topo_->admin_region(edge.peer) != topo_->admin_region(packet.source)) {
     ++stats_.ttl_prunes;
+    trace_hop(trace::EventType::kNetPrune,
+              static_cast<std::uint64_t>(ttl_at_from));
     return false;
   }
   if (drop_policy_->should_drop(packet,
                                 HopContext{edge.link, from, edge.peer})) {
     ++stats_.drops;
+    trace_hop(trace::EventType::kNetDrop, edge.link);
     return false;
   }
   ++stats_.link_transmissions;
@@ -216,6 +237,18 @@ void MulticastNetwork::fire_delivery(std::uint32_t index) {
   PacketSink* const sink = pd.sink;
   pd.sink = nullptr;
   free_deliveries_.push_back(index);  // freed first: the sink may multicast
+  if (tracer_->wants(trace::Category::kNet)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kNetDeliver;
+    ev.t = queue_->now();
+    ev.actor = info.receiver;
+    ev.a = packet->group;
+    ev.b = kind_of(*packet);
+    ev.c = packet->source;
+    ev.d = static_cast<std::uint64_t>(info.hops);
+    ev.x = info.path_delay;
+    tracer_->emit(ev);
+  }
   sink->on_receive(*packet, info);
   if (delivery_observer_) delivery_observer_(*packet, info);
 }
@@ -227,6 +260,17 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
   packet.source = from;
   ++stats_.multicasts_sent;
   if (send_observer_) send_observer_(from, packet);
+  if (tracer_->wants(trace::Category::kNet)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kNetSend;
+    ev.t = queue_->now();
+    ev.actor = from;
+    ev.a = packet.group;
+    ev.b = kind_of(packet);
+    ev.c = static_cast<std::uint64_t>(packet.ttl);
+    ev.d = static_cast<std::uint64_t>(packet.scope);
+    tracer_->emit(ev);
+  }
 
   const PrunedTree& tree = pruned(from, packet.group);
   const auto shared = std::make_shared<const Packet>(std::move(packet));
@@ -269,6 +313,17 @@ void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
   packet.source = from;
   ++stats_.unicasts_sent;
   if (send_observer_) send_observer_(from, packet);
+  if (tracer_->wants(trace::Category::kNet)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kNetSend;
+    ev.t = queue_->now();
+    ev.actor = from;
+    ev.a = packet.group;
+    ev.b = kind_of(packet);
+    ev.c = static_cast<std::uint64_t>(packet.ttl);
+    ev.d = static_cast<std::uint64_t>(packet.scope);
+    tracer_->emit(ev);
+  }
 
   const std::vector<NodeId> p = routing_.path(from, to);
   double delay = 0.0;

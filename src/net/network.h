@@ -25,6 +25,7 @@
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace srm::net {
 
@@ -96,6 +97,12 @@ class MulticastNetwork {
   }
   const SendObserver& send_observer() const { return send_observer_; }
 
+  // Structured tracing (net category: send/deliver/drop/prune with link,
+  // TTL and group context).  Never pass nullptr; &trace::Tracer::null()
+  // detaches.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   struct GroupState {
     std::vector<std::uint64_t> bits;  // one bit per node
@@ -162,6 +169,7 @@ class MulticastNetwork {
   NetworkStats stats_;
   DeliveryObserver delivery_observer_;
   SendObserver send_observer_;
+  trace::Tracer* tracer_ = &trace::Tracer::null();
 
   // Reused scratch for multicast() walks (events never interrupt a walk).
   std::vector<WalkState> walk_scratch_;

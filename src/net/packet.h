@@ -39,6 +39,11 @@ class Message {
 
   // Nominal size in bytes; used for bandwidth accounting, not for timing.
   virtual std::size_t size_bytes() const { return 1000; }
+
+  // Small integer identifying the message kind in structured trace events
+  // (the `kind` field of net send/deliver/drop/prune records).  0 = untyped;
+  // SRM message classes return the values documented in srm/messages.h.
+  virtual std::uint32_t trace_kind() const { return 0; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

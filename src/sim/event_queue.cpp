@@ -23,6 +23,14 @@ bool EventQueue::handle_pending(std::uint32_t index,
 
 bool EventQueue::handle_cancel(std::uint32_t index, std::uint32_t generation) {
   if (!handle_pending(index, generation)) return false;
+  if (tracer_->wants(trace::Category::kSim)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kSimCancel;
+    ev.t = now_;
+    ev.a = index;
+    ev.b = generation;
+    tracer_->emit(ev);
+  }
   release_slot(index);
   --live_;
   // The heap entry stays behind as a tombstone; its generation no longer
@@ -64,6 +72,15 @@ EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
   heap_.push_back(HeapEntry{t, next_seq_++, index, s.generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  if (tracer_->wants(trace::Category::kSim)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kSimSchedule;
+    ev.t = now_;
+    ev.a = index;
+    ev.b = s.generation;
+    ev.x = t;
+    tracer_->emit(ev);
+  }
   return EventHandle(this, index, s.generation);
 }
 
@@ -91,6 +108,14 @@ bool EventQueue::pop_and_run_one() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   heap_.pop_back();
   now_ = top.when;
+  if (tracer_->wants(trace::Category::kSim)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kSimFire;
+    ev.t = now_;
+    ev.a = top.slot;
+    ev.b = top.generation;
+    tracer_->emit(ev);
+  }
   // Move the closure out and release the slot before running, so the event
   // body can schedule new events (possibly reusing this very slot).
   std::function<void()> fn = std::move(slot(top.slot).fn);

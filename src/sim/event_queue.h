@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "trace/trace.h"
+
 namespace srm::sim {
 
 using Time = double;  // seconds of virtual time
@@ -92,6 +94,11 @@ class EventQueue {
   // Used between independent simulation rounds.
   void reset();
 
+  // Structured tracing (sim category: sched/fire/cancel with slot+generation
+  // handle ids).  Never pass nullptr; pass &trace::Tracer::null() to detach.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   friend class EventHandle;
 
@@ -145,6 +152,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_total_ = 0;
   bool stopped_ = false;
+  trace::Tracer* tracer_ = &trace::Tracer::null();
 };
 
 }  // namespace srm::sim

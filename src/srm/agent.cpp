@@ -395,6 +395,8 @@ void SrmAgent::detect_loss(const DataName& name, bool via_request) {
 
   RequestState state;
   state.dist = distance_to(name.source);
+  trace_adu(trace::EventType::kSrmLoss, name, via_request ? 1 : 0, 0.0,
+            state.dist);
   state.detect_time = now;
   state.timer_set_time = now;
   state.timer = std::make_unique<sim::Timer>(
@@ -422,11 +424,13 @@ void SrmAgent::detect_loss(const DataName& name, bool via_request) {
 
 void SrmAgent::schedule_request_timer(RequestState& state,
                                       const DataName& name) {
-  (void)name;
   const double b = std::pow(config_.backoff_factor, state.backoffs);
   const double lo = b * c1() * state.dist;
   const double hi = b * (c1() + c2()) * state.dist;
-  state.timer->schedule_in(rng_.uniform(lo, hi));
+  const double delay = rng_.uniform(lo, hi);
+  state.timer->schedule_in(delay);
+  trace_adu(trace::EventType::kSrmReqTimerSet, name,
+            static_cast<std::uint64_t>(state.backoffs), delay, state.dist);
 }
 
 void SrmAgent::on_request_timer_expired(const DataName& name) {
@@ -434,6 +438,8 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
   if (it == requests_.end()) return;
   RequestState& st = it->second;
   const sim::Time now = network_->queue().now();
+  trace_adu(trace::EventType::kSrmReqFire, name,
+            static_cast<std::uint64_t>(st.backoffs));
 
   if (!st.delay_recorded) {
     st.delay_recorded = true;
@@ -457,6 +463,12 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
   if (config_.adaptive.enabled) request_tuner_.on_sent();
   const int ttl = escalate ? net::kMaxTtl : request_ttl_policy_(name);
   st.our_request_ttl = ttl;
+  if (escalate) {
+    trace_adu(trace::EventType::kSrmScopeEscalate, name,
+              static_cast<std::uint64_t>(ttl));
+  }
+  trace_adu(trace::EventType::kSrmReqSend, name,
+            static_cast<std::uint64_t>(ttl), escalate ? 1.0 : 0.0);
   net::Packet packet;
   packet.group = escalate ? group_ : request_group_policy_(name);
   packet.ttl = ttl;
@@ -470,6 +482,7 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
   ++st.backoffs;
   if (st.backoffs > config_.max_request_backoffs) {
     ++metrics_.recovery_abandoned;
+    trace_adu(trace::EventType::kSrmAbandoned, name);
     abandoned_.insert(name);
     if (hooks_.on_recovery_abandoned) hooks_.on_recovery_abandoned(name);
     requests_.erase(it);  // safe: Timer callbacks are copied into events
@@ -485,6 +498,8 @@ void SrmAgent::backoff_request(const DataName& name, RequestState& state) {
   // belong to the same loss-recovery iteration and cause no further backoff.
   if (config_.ignore_backoff_heuristic &&
       now < state.ignore_backoff_until) {
+    trace_adu(trace::EventType::kSrmReqBackoff, name,
+              static_cast<std::uint64_t>(state.backoffs), /*ignored=*/1.0);
     return;
   }
   if (!state.delay_recorded) {
@@ -495,6 +510,8 @@ void SrmAgent::backoff_request(const DataName& name, RequestState& state) {
     if (config_.adaptive.enabled) request_tuner_.record_delay(d);
   }
   ++state.backoffs;
+  trace_adu(trace::EventType::kSrmReqBackoff, name,
+            static_cast<std::uint64_t>(state.backoffs), /*ignored=*/0.0);
   if (state.backoffs > config_.max_request_backoffs) return;  // keep waiting
   schedule_request_timer(state, name);
   state.ignore_backoff_until =
@@ -508,6 +525,7 @@ void SrmAgent::complete_recovery(const DataName& name,
   const sim::Time now = network_->queue().now();
   const double delay = now - it->second.detect_time;
   ++metrics_.recoveries;
+  trace_adu(trace::EventType::kSrmRecovered, name, 0, delay);
   metrics_.recovery_delay_seconds.add(delay);
   metrics_.recovery_delay_rtt.add(delay / rtt_of(it->second.dist));
   it->second.timer->cancel();
@@ -524,6 +542,7 @@ void SrmAgent::handle_request(const RequestMessage& msg,
                               const net::DeliveryInfo& info) {
   ++metrics_.requests_heard;
   const DataName& name = msg.name();
+  trace_adu(trace::EventType::kSrmReqHear, name, msg.requestor());
 
   // Duplicate accounting continues for the whole request period, even after
   // the repair arrived and the request state is gone (Sec. VII-A).
@@ -591,7 +610,10 @@ void SrmAgent::maybe_schedule_repair(const DataName& name,
 
   const double lo = d1() * rs.dist;
   const double hi = (d1() + d2()) * rs.dist;
-  rs.timer->schedule_in(rng_.uniform(lo, hi));
+  const double delay = rng_.uniform(lo, hi);
+  rs.timer->schedule_in(delay);
+  trace_adu(trace::EventType::kSrmRepTimerSet, name, rs.requestor, delay,
+            rs.dist);
 }
 
 void SrmAgent::on_repair_timer_expired(const DataName& name) {
@@ -601,6 +623,7 @@ void SrmAgent::on_repair_timer_expired(const DataName& name) {
   const auto data = store_.find(name);
   if (data == store_.end()) return;  // lost the data since scheduling
   const sim::Time now = network_->queue().now();
+  trace_adu(trace::EventType::kSrmRepFire, name);
 
   if (!rs.delay_recorded) {
     rs.delay_recorded = true;
@@ -625,6 +648,8 @@ void SrmAgent::on_repair_timer_expired(const DataName& name) {
     }
   }
 
+  trace_adu(trace::EventType::kSrmRepSend, name,
+            static_cast<std::uint64_t>(ttl), step_one ? 1.0 : 0.0);
   net::Packet packet;
   // The repair answers on the group and with the scope the request used, so
   // recovery-group requests stay on the recovery group and an escalated
@@ -657,6 +682,7 @@ void SrmAgent::handle_repair(const RepairMessage& msg,
   ++metrics_.repairs_heard;
   const DataName& name = msg.name();
   const sim::Time now = network_->queue().now();
+  trace_adu(trace::EventType::kSrmRepHear, name, msg.responder());
 
   // Repair-side suppression and hold-down.
   if (const auto it = repairs_.find(name); it != repairs_.end()) {
@@ -671,6 +697,7 @@ void SrmAgent::handle_repair(const RepairMessage& msg,
         if (config_.adaptive.enabled) repair_tuner_.record_delay(d);
       }
       rs.timer->cancel();
+      trace_adu(trace::EventType::kSrmRepSuppress, name, msg.responder());
     }
     rs.holddown_until = now + config_.holddown_multiplier *
                                   holddown_distance(name, msg.first_requestor());
@@ -704,6 +731,8 @@ void SrmAgent::handle_repair(const RepairMessage& msg,
     rs.holddown_until = now + config_.holddown_multiplier *
                                   holddown_distance(name, msg.responder());
     ++metrics_.repairs_sent;
+    trace_adu(trace::EventType::kSrmRepSend, name,
+              static_cast<std::uint64_t>(our_ttl), /*step_one=*/0.0);
     net::Packet out;
     out.group = packet.group;  // stay on the group the recovery runs on
     out.ttl = our_ttl;
@@ -793,6 +822,15 @@ void SrmAgent::open_request_period(const DataName& name) {
   request_period_ = Period{name, 0, false};
   if (config_.adaptive.enabled) {
     request_tuner_.adapt_on_timer_set(prev_we_sent);
+    if (tracer_->wants(trace::Category::kSrm)) {
+      trace::Event ev;
+      ev.type = trace::EventType::kSrmAdaptReq;
+      ev.t = network_->queue().now();
+      ev.actor = id_;
+      ev.x = c1();
+      ev.y = c2();
+      tracer_->emit(ev);
+    }
   }
 }
 
@@ -813,7 +851,18 @@ void SrmAgent::open_repair_period(const DataName& name) {
     if (config_.adaptive.enabled) repair_tuner_.end_period(dups);
   }
   repair_period_ = Period{name, 0, false};
-  if (config_.adaptive.enabled) repair_tuner_.adapt_on_timer_set(prev_we_sent);
+  if (config_.adaptive.enabled) {
+    repair_tuner_.adapt_on_timer_set(prev_we_sent);
+    if (tracer_->wants(trace::Category::kSrm)) {
+      trace::Event ev;
+      ev.type = trace::EventType::kSrmAdaptRep;
+      ev.t = network_->queue().now();
+      ev.actor = id_;
+      ev.x = d1();
+      ev.y = d2();
+      tracer_->emit(ev);
+    }
+  }
 }
 
 void SrmAgent::note_repair_observed(const DataName& name, bool ours) {

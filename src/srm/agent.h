@@ -4,10 +4,27 @@
 // estimation, adaptive timer tuning, local recovery scoping, and the
 // token-bucket send policy, on top of the simulated IP multicast network.
 //
+// The Sec. III-B timer algebra, verbatim: a member detecting a loss draws
+// its request timer uniformly from
+//     [ C1*d_S , (C1+C2)*d_S ]        d_S = est. distance to the source,
+// backs off multiplicatively (SrmConfig::backoff_factor; x3 per Sec. VII-A)
+// each time it sends or is suppressed, and ignores same-iteration duplicate
+// requests (the footnote-1 heuristic).  A member holding the data draws its
+// repair timer from
+//     [ D1*d_A , (D1+D2)*d_A ]        d_A = est. distance to the requestor,
+// cancels it on hearing another member's repair, and holds down further
+// repair timers for holddown_multiplier*d_S (3*d_S in the paper) after
+// sending or receiving a repair for the ADU.
+//
 // The agent is deliberately application-agnostic (the ALF framework): the
 // application supplies payload bytes, a page structure over the namespace,
 // send priorities, and receives delivery callbacks.  src/wb builds the
 // whiteboard on this API.
+//
+// Every protocol decision is observable as srm-category trace events
+// (loss / req_* / rep_* / recovered / adapt_* / scope_escalate); attach a
+// tracer with set_tracer() and see trace/timeline.h for the per-loss
+// recovery-story analyzer built on them.
 #pragma once
 
 #include <deque>
@@ -192,6 +209,13 @@ class SrmAgent : public net::PacketSink {
   bool request_pending(const DataName& name) const;
   bool repair_pending(const DataName& name) const;
 
+  // Structured tracing (srm category: the protocol events of Sec. III-B /
+  // VII — loss, timer set/fire/backoff, request/repair send/hear/suppress,
+  // adaptive updates, scope escalations).  Never pass nullptr;
+  // &trace::Tracer::null() detaches.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   // Forces a session message out immediately (tests / warm-up / the
   // hierarchical extension).  `ttl` limits its scope; by default it reaches
   // the whole group.
@@ -300,6 +324,26 @@ class SrmAgent : public net::PacketSink {
   SessionMessage::StateReport page_state(const PageId& page) const;
   void schedule_next_session_message();
 
+  // Emits one srm-category trace event naming an ADU (slot convention:
+  // a=src, b=page_c, c=page_n, d=seq; `e`, `x`, `y` per the schema table).
+  // The disabled path is a single relaxed-atomic test.
+  void trace_adu(trace::EventType type, const DataName& name,
+                 std::uint64_t e = 0, double x = 0.0, double y = 0.0) {
+    if (!tracer_->wants(trace::Category::kSrm)) return;
+    trace::Event ev;
+    ev.type = type;
+    ev.t = network_->queue().now();
+    ev.actor = id_;
+    ev.a = name.source;
+    ev.b = name.page.creator;
+    ev.c = name.page.number;
+    ev.d = name.seq;
+    ev.e = e;
+    ev.x = x;
+    ev.y = y;
+    tracer_->emit(ev);
+  }
+
   // core wiring
   net::MulticastNetwork* network_;
   MemberDirectory* directory_;
@@ -355,6 +399,7 @@ class SrmAgent : public net::PacketSink {
   std::deque<QueuedSend> send_queue_;
   std::uint64_t send_seq_ = 0;
 
+  trace::Tracer* tracer_ = &trace::Tracer::null();
   TtlPolicy request_ttl_policy_;
   GroupPolicy request_group_policy_;
   std::unordered_set<net::GroupId> extra_groups_;

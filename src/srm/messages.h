@@ -12,6 +12,10 @@
 // adaptive algorithm uses to prefer nearby responders (Sec. VII-A).
 // Requests/repairs also carry their initial TTL in a payload field so
 // receivers can recover the sender's intended scope (Sec. VII-B.3).
+//
+// Each class reports a stable trace_kind() for the `kind` field of net-layer
+// trace events: 1=DATA, 2=REQUEST, 3=REPAIR, 4=SESSION, 5=PAGE-REQUEST,
+// 6=PAGE-REPLY (0 = non-SRM payload).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +47,7 @@ class DataMessage final : public net::Message {
   std::size_t size_bytes() const override {
     return 32 + (payload_ ? payload_->size() : 0);
   }
+  std::uint32_t trace_kind() const override { return 1; }
 
  private:
   DataName name_;
@@ -69,6 +74,7 @@ class RequestMessage final : public net::Message {
     return "REQUEST " + to_string(name_) + " by " + std::to_string(requestor_);
   }
   std::size_t size_bytes() const override { return 48; }
+  std::uint32_t trace_kind() const override { return 2; }
 
  private:
   DataName name_;
@@ -110,6 +116,7 @@ class RepairMessage final : public net::Message {
   std::size_t size_bytes() const override {
     return 48 + (payload_ ? payload_->size() : 0);
   }
+  std::uint32_t trace_kind() const override { return 3; }
 
  private:
   DataName name_;
@@ -156,6 +163,7 @@ class SessionMessage final : public net::Message {
   std::size_t size_bytes() const override {
     return 24 + 16 * state_.size() + 20 * echoes_.size();
   }
+  std::uint32_t trace_kind() const override { return 4; }
 
  private:
   SourceId sender_;
@@ -185,6 +193,7 @@ class PageRequestMessage final : public net::Message {
                  : "PAGE-REQUEST <list>";
   }
   std::size_t size_bytes() const override { return 32; }
+  std::uint32_t trace_kind() const override { return 5; }
 
  private:
   SourceId requestor_;
@@ -214,6 +223,7 @@ class PageReplyMessage final : public net::Message {
   std::size_t size_bytes() const override {
     return 32 + 16 * state_.size() + 8 * known_pages_.size();
   }
+  std::uint32_t trace_kind() const override { return 6; }
 
  private:
   SourceId responder_;

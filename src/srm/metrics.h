@@ -1,5 +1,10 @@
 // Per-agent protocol counters and the per-loss measurements the paper's
-// figures are built from.
+// figures are built from: requests/repairs per loss (the "duplicates" axes
+// of Figs. 3-8 and 12-14) and per-member recovery delay normalized by the
+// RTT to the source (the "delay" axes).  These are the aggregate view; the
+// per-event view of the same facts is the srm trace category
+// (trace/trace.h), and tests cross-check that the two agree
+// (trace::RecoveryTimeline totals == summed AgentMetrics).
 #pragma once
 
 #include <cstdint>

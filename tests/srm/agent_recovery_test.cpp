@@ -9,6 +9,8 @@
 #include "harness/session.h"
 #include "srm/messages.h"
 #include "topo/builders.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
 
 namespace srm {
 namespace {
@@ -105,21 +107,37 @@ TEST(AgentDataTest, SeedDataSuppressesHistoryRequests) {
 TEST(ChainRecoveryTest, ExactlyOneRequestAndOneRepair) {
   // Chain of 8; source node 0; drop on link (3,4).  With C1=D1=1, C2=D2=0
   // there must be exactly one request (from node 4) and one repair (from
-  // node 3): deterministic suppression.
+  // node 3): deterministic suppression.  Asserted on the recovery timeline
+  // reconstructed from the structured trace, not just aggregate counters.
   SimSession s(topo::make_chain(8), all_nodes(8),
                {deterministic_chain_config(), 1, 1});
+  trace::VectorSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm));
+  s.set_tracer(&tracer);
   RoundSpec spec;
   spec.source_node = 0;
   spec.congested = DirectedLink{3, 4};
   spec.page = PageId{0, 0};
   const auto r = run_loss_round(s, spec, 0);
-  EXPECT_EQ(r.requests, 1u);
-  EXPECT_EQ(r.repairs, 1u);
   EXPECT_EQ(r.affected, 4u);   // nodes 4..7
   EXPECT_EQ(r.recovered, 4u);
+
+  const auto timeline = trace::RecoveryTimeline::fold(sink.events());
+  ASSERT_EQ(timeline.stories().size(), 1u);
+  const trace::RecoveryStory& story = timeline.stories()[0];
+  EXPECT_EQ(story.adu, (trace::AduKey{0, 0, 0, 0}));
+  EXPECT_EQ(story.requests_sent, 1u);
+  EXPECT_EQ(story.repairs_sent, 1u);
   // The request came from node 4 and the repair from node 3.
-  EXPECT_EQ(s.agent_at(4).metrics().requests_sent, 1u);
-  EXPECT_EQ(s.agent_at(3).metrics().repairs_sent, 1u);
+  EXPECT_EQ(story.first_requestor, 4u);
+  EXPECT_EQ(story.first_responder, 3u);
+  EXPECT_EQ(story.detections, 4u);
+  EXPECT_EQ(story.recoveries, 4u);
+  // Timeline totals agree with the aggregate counters.
+  EXPECT_EQ(timeline.total_requests(), r.requests);
+  EXPECT_EQ(timeline.total_repairs(), r.repairs);
 }
 
 TEST(ChainRecoveryTest, DelayAlgebraMatchesSectionIVA) {
@@ -150,18 +168,50 @@ TEST(ChainRecoveryTest, DelayAlgebraMatchesSectionIVA) {
 TEST(ChainRecoveryTest, RequestTimingIsDistanceScaled) {
   // Node A at distance d from the source sets its request timer to exactly
   // C1 * d with C2 = 0; nodes further away are suppressed before expiry.
+  // The trace exposes the timer delays and the deterministic suppression
+  // order directly, so assert on those.
   SimSession s(topo::make_chain(6), all_nodes(6),
                {deterministic_chain_config(), 1, 1});
+  trace::VectorSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm));
+  s.set_tracer(&tracer);
   RoundSpec spec;
   spec.source_node = 0;
   spec.congested = DirectedLink{1, 2};
   spec.page = PageId{0, 0};
   const auto r = run_loss_round(s, spec, 0);
-  EXPECT_EQ(r.requests, 1u);
-  EXPECT_EQ(s.agent_at(2).metrics().requests_sent, 1u);
-  for (net::NodeId v = 3; v < 6; ++v) {
-    EXPECT_EQ(s.agent_at(v).metrics().requests_sent, 0u) << v;
+
+  const auto timeline = trace::RecoveryTimeline::fold(sink.events());
+  ASSERT_EQ(timeline.stories().size(), 1u);
+  const trace::RecoveryStory& story = timeline.stories()[0];
+  EXPECT_EQ(story.requests_sent, 1u);
+  EXPECT_EQ(story.first_requestor, 2u);  // closest affected member wins
+  EXPECT_EQ(timeline.total_requests(), r.requests);
+
+  // Every affected member armed a request timer of exactly C1 * d (C2 = 0,
+  // no backoff yet), where d is its chain distance to the source.
+  std::size_t timers_seen = 0;
+  for (const trace::StoryEntry& entry : story.entries) {
+    if (entry.type != trace::EventType::kSrmReqTimerSet || entry.arg != 0) {
+      continue;
+    }
+    ++timers_seen;
+    EXPECT_DOUBLE_EQ(entry.x, static_cast<double>(entry.actor));
   }
+  EXPECT_EQ(timers_seen, 4u);  // nodes 2..5
+
+  // Request suppression (the req_backoff events) runs outward from the
+  // requestor, in deterministic nearest-first order.  (suppression_order
+  // itself also carries rep_suppress actors, so filter by type here.)
+  std::vector<std::uint64_t> backoff_order;
+  for (const trace::StoryEntry& entry : story.entries) {
+    if (entry.type == trace::EventType::kSrmReqBackoff) {
+      backoff_order.push_back(entry.actor);
+    }
+  }
+  EXPECT_EQ(backoff_order, (std::vector<std::uint64_t>{3, 4, 5}));
 }
 
 // --- star: probabilistic suppression (Sec. IV-B) -----------------------------

@@ -1,0 +1,150 @@
+// RecoveryTimeline tests: folding a live capture into per-loss stories,
+// agreement with the aggregate AgentMetrics counters, lossless analysis
+// after a JSONL round-trip, and bit-identical timelines across
+// ReplicationRunner thread counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/loss_round.h"
+#include "harness/replication.h"
+#include "harness/session.h"
+#include "topo/builders.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
+
+namespace srm::trace {
+namespace {
+
+std::vector<net::NodeId> all_nodes(std::size_t n) {
+  std::vector<net::NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<net::NodeId>(i);
+  return v;
+}
+
+SrmConfig deterministic_config() {
+  SrmConfig cfg;
+  cfg.timers = TimerParams{1.0, 0.0, 1.0, 0.0};
+  return cfg;
+}
+
+struct TracedRound {
+  harness::RoundResult result;
+  std::vector<Event> events;
+  std::size_t requests_metric = 0;
+  std::size_t repairs_metric = 0;
+};
+
+// The Sec. IV-A chain scenario: source 0, drop on (3,4), deterministic
+// timers, so node 4 requests and node 3 repairs, exactly once each.
+TracedRound run_chain_round(std::uint64_t seed) {
+  TracedRound out;
+  VectorSink sink;
+  Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(Category::kSrm));
+  harness::SimSession s(topo::make_chain(8), all_nodes(8),
+                        {deterministic_config(), seed, 1});
+  s.set_tracer(&tracer);
+  harness::RoundSpec spec;
+  spec.source_node = 0;
+  spec.congested = harness::DirectedLink{3, 4};
+  spec.page = PageId{0, 0};
+  out.result = harness::run_loss_round(s, spec, 0);
+  s.for_each_agent([&](SrmAgent& a) {
+    out.requests_metric += a.metrics().requests_sent;
+    out.repairs_metric += a.metrics().repairs_sent;
+  });
+  out.events = sink.events();
+  return out;
+}
+
+TEST(RecoveryTimelineTest, ChainRoundFoldsIntoOneStory) {
+  const TracedRound round = run_chain_round(1);
+  const RecoveryTimeline timeline = RecoveryTimeline::fold(round.events);
+
+  // One dropped ADU -> one recovery story.
+  ASSERT_EQ(timeline.stories().size(), 1u);
+  const RecoveryStory& story = timeline.stories()[0];
+  EXPECT_EQ(story.adu, (AduKey{0, 0, 0, 0}));
+
+  // Nodes 4..7 detected the loss; node 4 (closest to the congested link)
+  // both detected and requested first; node 3 answered.
+  EXPECT_EQ(story.detections, 4u);
+  EXPECT_EQ(story.first_detector, 4u);
+  EXPECT_EQ(story.requests_sent, 1u);
+  EXPECT_EQ(story.first_requestor, 4u);
+  EXPECT_EQ(story.repairs_sent, 1u);
+  EXPECT_EQ(story.first_responder, 3u);
+  EXPECT_EQ(story.duplicate_requests(), 0u);
+  EXPECT_EQ(story.duplicate_repairs(), 0u);
+  EXPECT_EQ(story.recoveries, 4u);
+  EXPECT_EQ(story.abandoned, 0u);
+
+  // Milestones are ordered: detect <= first request < first repair <= done.
+  EXPECT_LE(story.first_detect_time, story.first_request_time);
+  EXPECT_LT(story.first_request_time, story.first_repair_time);
+  EXPECT_LE(story.first_repair_time, story.last_recovery_time);
+}
+
+TEST(RecoveryTimelineTest, TotalsMatchAggregateMetrics) {
+  const TracedRound round = run_chain_round(1);
+  const RecoveryTimeline timeline = RecoveryTimeline::fold(round.events);
+  // The timeline reconstruction and the aggregate counters must agree —
+  // both with each other and with the round result.
+  EXPECT_EQ(timeline.total_requests(), round.requests_metric);
+  EXPECT_EQ(timeline.total_repairs(), round.repairs_metric);
+  EXPECT_EQ(timeline.total_requests(), round.result.requests);
+  EXPECT_EQ(timeline.total_repairs(), round.result.repairs);
+}
+
+TEST(RecoveryTimelineTest, JsonlRoundTripFoldsIdentically) {
+  const TracedRound round = run_chain_round(1);
+  std::ostringstream out;
+  JsonlSink sink(out);
+  for (const Event& e : round.events) sink.on_event(e);
+  std::istringstream in(out.str());
+  const std::vector<Event> reread = read_jsonl(in);
+  ASSERT_EQ(reread, round.events);
+  EXPECT_EQ(RecoveryTimeline::fold(reread).summary(),
+            RecoveryTimeline::fold(round.events).summary());
+}
+
+TEST(RecoveryTimelineTest, SuppressionOrderIsDeterministic) {
+  // Same seed -> byte-identical summary, including the suppression order.
+  const std::string a =
+      RecoveryTimeline::fold(run_chain_round(7).events).summary();
+  const std::string b =
+      RecoveryTimeline::fold(run_chain_round(7).events).summary();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(RecoveryTimelineTest, FindAndMissingKeys) {
+  const TracedRound round = run_chain_round(1);
+  const RecoveryTimeline timeline = RecoveryTimeline::fold(round.events);
+  EXPECT_NE(timeline.find(AduKey{0, 0, 0, 0}), nullptr);
+  EXPECT_EQ(timeline.find(AduKey{0, 0, 0, 99}), nullptr);
+}
+
+TEST(RecoveryTimelineTest, TimelineBitIdenticalAcrossThreadCounts) {
+  // Each replication owns its session + tracer + sink, so the folded
+  // summaries must be identical whether the batch runs on 1 thread or 4.
+  const auto run_batch = [](unsigned threads) {
+    harness::ReplicationRunner runner(threads);
+    return runner.map<std::string>(6, [](std::size_t i) {
+      return RecoveryTimeline::fold(
+                 run_chain_round(static_cast<std::uint64_t>(i) + 1).events)
+          .summary();
+    });
+  };
+  const std::vector<std::string> serial = run_batch(1);
+  const std::vector<std::string> parallel = run_batch(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "replication " << i;
+  }
+}
+
+}  // namespace
+}  // namespace srm::trace
