@@ -59,7 +59,49 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+// The traced variant below must never report faster than this plain run:
+// both get an explicit warm-up (first iterations pay slab allocation and
+// cold caches, and benchmark registration order would otherwise hand that
+// cost to whichever variant runs first) and a fixed measurement window so
+// the pair is compared on equal footing.
+BENCHMARK(BM_EventQueueScheduleRun)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->MinWarmUpTime(0.5)
+    ->MinTime(2.0);
+
+// Same loop as BM_EventQueueScheduleRun but with sim tracing ENABLED into a
+// counting sink; the delta against the plain run is the per-event cost of
+// emitting schedule + fire records.  (The plain run already measures the
+// compiled-in-but-disabled path, which PR acceptance bounds at <3% of the
+// committed baseline.)  Registered directly after the plain run so the pair
+// executes back-to-back with identical allocator and cache history — with
+// another benchmark in between, heap-layout luck can swing the comparison
+// by more than the tracing cost itself.
+void BM_EventQueueScheduleRunTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CountingSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSim));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    q.set_tracer(&tracer);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  benchmark::DoNotOptimize(sink.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRunTraced)
+    ->Arg(100000)
+    ->MinWarmUpTime(0.5)
+    ->MinTime(2.0);
 
 // SRM's suppressible timers make schedule/cancel/reschedule the kernel's
 // second hot loop: this exercises slab + free-list reuse under churn.
@@ -90,33 +132,6 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueCancelChurn)->Arg(100000);
-
-// Same loop as BM_EventQueueScheduleRun but with sim tracing ENABLED into a
-// counting sink; the delta against the plain run is the per-event cost of
-// emitting schedule + fire records.  (The plain run already measures the
-// compiled-in-but-disabled path, which PR acceptance bounds at <3% of the
-// committed baseline.)
-void BM_EventQueueScheduleRunTraced(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  CountingSink sink;
-  trace::Tracer tracer;
-  tracer.set_sink(&sink);
-  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSim));
-  for (auto _ : state) {
-    sim::EventQueue q;
-    q.set_tracer(&tracer);
-    std::size_t fired = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
-    }
-    q.run();
-    benchmark::DoNotOptimize(fired);
-  }
-  benchmark::DoNotOptimize(sink.count());
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_EventQueueScheduleRunTraced)->Arg(100000);
 
 void BM_SptComputation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -168,7 +183,13 @@ void BM_MulticastDelivery(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n - 1));
 }
-BENCHMARK(BM_MulticastDelivery)->Arg(100)->Arg(1000);
+// Warm-up/measurement window matched with BM_MulticastDeliveryTraced, as
+// with the event-queue pair above.
+BENCHMARK(BM_MulticastDelivery)
+    ->Arg(100)
+    ->Arg(1000)
+    ->MinWarmUpTime(0.5)
+    ->MinTime(2.0);
 
 // Multicast fan-out with net tracing ENABLED (send + per-member deliver
 // records) into a counting sink.
@@ -208,7 +229,10 @@ void BM_MulticastDeliveryTraced(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n - 1));
 }
-BENCHMARK(BM_MulticastDeliveryTraced)->Arg(1000);
+BENCHMARK(BM_MulticastDeliveryTraced)
+    ->Arg(1000)
+    ->MinWarmUpTime(0.5)
+    ->MinTime(2.0);
 
 void BM_FullLossRecoveryRound(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -238,7 +262,7 @@ void BM_DistanceEstimatorExchange(benchmark::State& state) {
   sim::EventQueue q;
   sim::LocalClock clock(q, 0.0);
   DistanceEstimator est(clock);
-  std::map<SourceId, SessionMessage::Echo> echoes;
+  SessionMessage::Echoes echoes;
   echoes[1] = SessionMessage::Echo{0.0, 1.0};
   SourceId peer = 2;
   for (auto _ : state) {
@@ -327,20 +351,35 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
   // ns per processed item (event/delivery) for `name/arg`; 0 if missing.
   double ns_per_item(const std::string& name, std::int64_t arg) const {
-    const auto it = runs_.find(name + "/" + std::to_string(arg));
-    if (it == runs_.end() || arg == 0) return 0.0;
-    return it->second.real_ns_per_iteration / static_cast<double>(arg);
+    const Captured* run = find(name + "/" + std::to_string(arg));
+    if (run == nullptr || arg == 0) return 0.0;
+    return run->real_ns_per_iteration / static_cast<double>(arg);
   }
   double items_per_second(const std::string& name, std::int64_t arg) const {
-    const auto it = runs_.find(name + "/" + std::to_string(arg));
-    return it == runs_.end() ? 0.0 : it->second.items_per_second;
+    const Captured* run = find(name + "/" + std::to_string(arg));
+    return run == nullptr ? 0.0 : run->items_per_second;
   }
   double ns_per_iteration(const std::string& full_name) const {
-    const auto it = runs_.find(full_name);
-    return it == runs_.end() ? 0.0 : it->second.real_ns_per_iteration;
+    const Captured* run = find(full_name);
+    return run == nullptr ? 0.0 : run->real_ns_per_iteration;
   }
 
  private:
+  // Benchmarks registered with MinTime/MinWarmUpTime report under names
+  // with "/min_time:..." style suffixes appended; accept either the exact
+  // name or the name followed by such a suffix.
+  const Captured* find(const std::string& prefix) const {
+    const auto it = runs_.find(prefix);
+    if (it != runs_.end()) return &it->second;
+    for (const auto& [name, captured] : runs_) {
+      if (name.size() > prefix.size() && name[prefix.size()] == '/' &&
+          name.compare(0, prefix.size(), prefix) == 0) {
+        return &captured;
+      }
+    }
+    return nullptr;
+  }
+
   std::map<std::string, Captured> runs_;
 };
 

@@ -8,6 +8,14 @@
 // Panel 2 (hierarchy): on a tree of LANs, electing one representative per
 // LAN cuts the session packets crossing the backbone by ~the LAN size,
 // while every member still learns its distance to its representative.
+//
+// Panel 3 (large-group session rounds): the simulator-kernel cost of the
+// O(G^2) session-message path itself.  Every member multicasts one session
+// report per round (G sends, G*(G-1) deliveries, every receiver folding in
+// the sender's state report and its echo table); wall-clock throughput at
+// G in {50, 200, 500} is recorded into BENCH_session.json so the large-
+// session fast path can be tracked across PRs (see EXPERIMENTS.md).
+#include <chrono>
 #include <memory>
 
 #include "common.h"
@@ -17,6 +25,9 @@ int main(int argc, char** argv) {
   using namespace srm;
   const util::Flags flags(argc, argv);
   const std::uint64_t seed = flags.get_seed(42);
+  const int rounds = static_cast<int>(flags.get_int("rounds", 5));
+  const std::string json_path =
+      flags.get_string("bench-json", "BENCH_session.json");
 
   bench::print_header("Session-message scaling (Sec. III-A, IX-A)", seed, "");
 
@@ -98,6 +109,65 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: the hierarchy's backbone session traffic is "
                  "cut by roughly the\nLAN size (only one representative per "
                  "LAN reports globally).\n";
+  }
+
+  {
+    std::cout << "\nlarge-group session rounds: every member reports once "
+                 "per round\n(G sends, G*(G-1) deliveries; estimated "
+                 "distances, echoes for every peer)\n";
+    util::PerfJson json(json_path, "session_scaling");
+    util::Table t({"G", "nodes", "rounds", "wall (s)", "session msgs/s",
+                   "deliveries/s"});
+    for (std::size_t g : {std::size_t{50}, std::size_t{200},
+                          std::size_t{500}}) {
+      const std::size_t nodes = 2 * g;
+      util::Rng rng(seed + g);
+      auto members = harness::choose_members(nodes, g, rng);
+      SrmConfig cfg;
+      cfg.distance_mode = DistanceMode::kEstimated;
+      cfg.session.enabled = false;  // rounds are driven explicitly below
+      harness::SimSession session(topo::make_bounded_degree_tree(nodes, 4),
+                                  members, {cfg, seed, 1});
+      auto run_round = [&](double base) {
+        for (std::size_t i = 0; i < session.member_count(); ++i) {
+          SrmAgent& a = session.agent(i);
+          session.queue().schedule_at(
+              base + static_cast<double>(i) / static_cast<double>(g),
+              [&a] { a.send_session_message(); });
+        }
+        session.queue().run();
+      };
+      // Warm-up round: populates every estimator's peer table so measured
+      // rounds carry full-size echo tables (the steady state).
+      run_round(0.0);
+
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        run_round(100.0 * static_cast<double>(r + 1));
+      }
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+
+      const double msgs = static_cast<double>(g) * rounds;
+      const double deliveries = msgs * static_cast<double>(g - 1);
+      t.add_row({util::Table::num(g), util::Table::num(nodes),
+                 util::Table::num(static_cast<std::size_t>(rounds)),
+                 util::Table::num(wall.count(), 3),
+                 util::Table::num(msgs / wall.count(), 0),
+                 util::Table::num(deliveries / wall.count(), 0)});
+      if (!json_path.empty()) {
+        const std::string p = "g" + std::to_string(g) + "_";
+        json.set(p + "wall_seconds", wall.count());
+        json.set(p + "messages_per_second", msgs / wall.count());
+        json.set(p + "deliveries_per_second", deliveries / wall.count());
+      }
+    }
+    t.print(std::cout);
+    if (!json_path.empty()) {
+      json.set("rounds", static_cast<double>(rounds));
+      json.save();
+      std::cout << "\n[perf] " << json_path << " updated (session_scaling)\n";
+    }
   }
   return 0;
 }

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate, run by CI.
+
+Compares a freshly measured perf JSON (the two-level section -> metric ->
+value format written by util::PerfJson) against the baseline committed in
+the repository (BENCH_kernel.json, BENCH_session.json) and fails when any
+metric regresses by more than the tolerance (default 20%).
+
+Direction is inferred from the metric name:
+  * ``*_per_second``                      -- higher is better
+  * ``*_ns_per_*``, ``*_us``, ``*wall_seconds`` -- lower is better
+Bookkeeping keys (threads, replications, rounds) are skipped, as are
+metrics present on only one side (new benchmarks, retired benchmarks, or a
+filtered smoke run that captured a subset).
+
+Usage:
+  scripts/check_bench.py --baseline BENCH_kernel.json --current /tmp/k.json
+  scripts/check_bench.py --baseline B.json --current C.json \
+      --sections micro_kernel,session_scaling --tolerance 0.25
+
+Exits non-zero with a report on any regression beyond tolerance.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SKIP_KEYS = {"threads", "replications", "rounds"}
+
+
+def direction(key):
+    """'up' if larger values are better, 'down' if smaller, None to skip."""
+    if key in SKIP_KEYS:
+        return None
+    if key.endswith("_per_second"):
+        return "up"
+    if "_ns_per_" in key or key.endswith("_us") or key.endswith("wall_seconds"):
+        return "down"
+    return None
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object of sections")
+    return data
+
+
+def compare(baseline, current, sections, tolerance):
+    regressions = []
+    compared = 0
+    section_names = sections or sorted(set(baseline) & set(current))
+    for section in section_names:
+        base_metrics = baseline.get(section, {})
+        cur_metrics = current.get(section, {})
+        for key in sorted(set(base_metrics) & set(cur_metrics)):
+            sense = direction(key)
+            if sense is None:
+                continue
+            base = float(base_metrics[key])
+            cur = float(cur_metrics[key])
+            if base <= 0:
+                continue
+            compared += 1
+            change = cur / base - 1.0
+            regressed = (sense == "up" and change < -tolerance) or (
+                sense == "down" and change > tolerance
+            )
+            if regressed:
+                regressions.append(
+                    f"  {section}.{key}: {base:g} -> {cur:g} "
+                    f"({change:+.1%}, {'higher' if sense == 'up' else 'lower'}"
+                    f" is better, tolerance {tolerance:.0%})"
+                )
+    return regressions, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed perf JSON to compare against")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured perf JSON")
+    parser.add_argument("--sections", default="",
+                        help="comma-separated section filter "
+                             "(default: sections present in both files)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    for path in (args.baseline, args.current):
+        if not pathlib.Path(path).is_file():
+            print(f"check_bench: missing file {path}", file=sys.stderr)
+            return 1
+
+    sections = [s for s in args.sections.split(",") if s]
+    regressions, compared = compare(
+        load(args.baseline), load(args.current), sections, args.tolerance
+    )
+    if regressions:
+        print("check_bench: regressions beyond tolerance:", file=sys.stderr)
+        for line in regressions:
+            print(line, file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("check_bench: warning: no comparable metrics found",
+              file=sys.stderr)
+    else:
+        print(f"check_bench: OK ({compared} metrics within "
+              f"{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -276,6 +276,18 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
   const auto shared = std::make_shared<const Packet>(std::move(packet));
   const Packet& pkt = *shared;
 
+  std::uint32_t chain_index;
+  if (!free_chains_.empty()) {
+    chain_index = free_chains_.back();
+    free_chains_.pop_back();
+  } else {
+    chain_index = static_cast<std::uint32_t>(chain_pool_.size());
+    chain_pool_.emplace_back();
+  }
+  DeliveryChain& chain = chain_pool_[chain_index];
+  chain.packet = shared;
+  chain.cursor = 0;
+
   // Linear walk of the flattened tree.  Each directed link is traversed
   // (and the drop policy consulted) at most once; a suppressed hop skips
   // its whole subtree via the precomputed extent.
@@ -290,7 +302,10 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
       i = s.subtree_end;
       continue;
     }
-    if (s.member) schedule_delivery(shared, s.node, st.delay, st.hops);
+    if (s.member && sinks_[s.node] != nullptr) {
+      chain.items.push_back(ChainItem{st.delay, 0, s.node, st.hops});
+      ++stats_.deliveries;
+    }
     for (std::uint32_t e = s.first_edge; e < s.first_edge + s.edge_count;
          ++e) {
       const TraceEdge& edge = tree.edges[e];
@@ -307,6 +322,70 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
     }
     ++i;
   }
+  dispatch_chain(chain_index, queue_->now());
+}
+
+void MulticastNetwork::dispatch_chain(std::uint32_t index, double sent_at) {
+  DeliveryChain& chain = chain_pool_[index];
+  if (chain.items.empty()) {
+    chain.packet = nullptr;
+    free_chains_.push_back(index);
+    return;
+  }
+  chain.sent_at = sent_at;
+  // The walk collected receivers in trace order, which is exactly the order
+  // eager scheduling would have drawn sequence numbers in; assigning the
+  // reserved block in that same order and then sorting by (delay, seq)
+  // reproduces the eager scheme's delivery order bit-for-bit.
+  const std::uint64_t base = queue_->allocate_seqs(chain.items.size());
+  for (std::size_t i = 0; i < chain.items.size(); ++i) {
+    chain.items[i].seq = base + i;
+  }
+  std::sort(chain.items.begin(), chain.items.end(),
+            [](const ChainItem& a, const ChainItem& b) {
+              if (a.delay != b.delay) return a.delay < b.delay;
+              return a.seq < b.seq;
+            });
+  queue_->schedule_at_seq(sent_at + chain.items.front().delay,
+                          chain.items.front().seq,
+                          [this, index] { fire_chain(index); });
+}
+
+void MulticastNetwork::fire_chain(std::uint32_t index) {
+  DeliveryChain& chain = chain_pool_[index];
+  const ChainItem item = chain.items[chain.cursor++];
+  std::shared_ptr<const Packet> packet;
+  if (chain.cursor < chain.items.size()) {
+    packet = chain.packet;
+    const ChainItem& next = chain.items[chain.cursor];
+    queue_->schedule_at_seq(chain.sent_at + next.delay, next.seq,
+                            [this, index] { fire_chain(index); });
+  } else {
+    // Freed first: the sink may multicast and recycle this very chain.
+    packet = std::move(chain.packet);
+    chain.items.clear();
+    free_chains_.push_back(index);
+  }
+  DeliveryInfo info;
+  info.receiver = item.to;
+  info.path_delay = item.delay;
+  info.hops = item.hops;
+  info.remaining_ttl = packet->ttl - item.hops;
+  if (tracer_->wants(trace::Category::kNet)) {
+    trace::Event ev;
+    ev.type = trace::EventType::kNetDeliver;
+    ev.t = queue_->now();
+    ev.actor = info.receiver;
+    ev.a = packet->group;
+    ev.b = kind_of(*packet);
+    ev.c = packet->source;
+    ev.d = static_cast<std::uint64_t>(info.hops);
+    ev.x = info.path_delay;
+    tracer_->emit(ev);
+  }
+  PacketSink* const sink = sinks_[item.to];
+  sink->on_receive(*packet, info);
+  if (delivery_observer_) delivery_observer_(*packet, info);
 }
 
 void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {

@@ -155,6 +155,8 @@ class MulticastNetwork {
   void schedule_delivery(const std::shared_ptr<const Packet>& packet,
                          NodeId to, double delay, int hops_taken);
   void fire_delivery(std::uint32_t index);
+  void dispatch_chain(std::uint32_t index, double sent_at);
+  void fire_chain(std::uint32_t index);
   bool hop_allowed(const Packet& packet, int ttl_at_from,
                    const LinkEnd& edge, NodeId from);
 
@@ -185,6 +187,30 @@ class MulticastNetwork {
   };
   std::vector<PendingDelivery> delivery_pool_;
   std::vector<std::uint32_t> free_deliveries_;
+
+  // One multicast's deliveries, chained: the walk collects every receiver,
+  // reserves the whole block of event-queue sequence numbers up front, and
+  // sorts by (delay, seq).  Only the chain's NEXT delivery lives in the
+  // event heap; each firing re-inserts the following one under its
+  // pre-assigned (time, seq) key.  That keeps the heap at one entry per
+  // in-flight multicast instead of one per receiver — a large-session round
+  // goes from hundreds of thousands of pending heap entries (every sift a
+  // cache miss) to a few hundred — while executing deliveries in exactly
+  // the order eager per-receiver scheduling would have.
+  struct ChainItem {
+    double delay;       // path delay from the sender
+    std::uint64_t seq;  // pre-assigned event-queue tie-break
+    NodeId to;
+    int hops;
+  };
+  struct DeliveryChain {
+    std::shared_ptr<const Packet> packet;
+    std::vector<ChainItem> items;
+    double sent_at = 0.0;
+    std::uint32_t cursor = 0;
+  };
+  std::vector<DeliveryChain> chain_pool_;
+  std::vector<std::uint32_t> free_chains_;
 };
 
 }  // namespace srm::net

@@ -11,6 +11,8 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace srm::net {
 
@@ -47,6 +49,58 @@ class Message {
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
+
+// Freelist pool for Message subclasses.
+//
+// MulticastNetwork already shares one immutable Packet (and thus one
+// Message) across every delivery of a transmission; the pool closes the
+// remaining per-send allocation by recycling the message object itself —
+// including any heap buffers it owns, such as a session message's flat
+// state and echo tables — once the last in-flight delivery drops its
+// reference.  T must provide `rebind(Args...)` mirroring the constructor
+// used with acquire(); rebind is only invoked on objects no delivery can
+// still see, so Message immutability holds for every observer.
+//
+// The freelist is shared-ownership: messages returned after the pool is
+// destroyed are freed normally.  Pools are single-threaded, like the
+// simulation sessions that own them.
+template <typename T>
+class MessagePool {
+ public:
+  template <typename... Args>
+  std::shared_ptr<T> acquire(Args&&... args) {
+    T* raw = nullptr;
+    if (!store_->free.empty()) {
+      std::unique_ptr<T> recycled = std::move(store_->free.back());
+      store_->free.pop_back();
+      recycled->rebind(std::forward<Args>(args)...);
+      raw = recycled.release();
+    } else {
+      raw = new T(std::forward<Args>(args)...);
+    }
+    // The deleter returns the object to the freelist instead of freeing it
+    // (bounded; overflow deletes).  It keeps the store alive by value.
+    return std::shared_ptr<T>(raw, [store = store_](T* p) {
+      if (store->free.size() < kMaxFree) {
+        store->free.emplace_back(p);
+      } else {
+        delete p;
+      }
+    });
+  }
+
+  std::size_t free_count() const { return store_->free.size(); }
+
+ private:
+  // One multicast keeps at most one message in flight per sender; the cap
+  // only matters if a burst of sends overlaps many pending deliveries.
+  static constexpr std::size_t kMaxFree = 64;
+
+  struct Store {
+    std::vector<std::unique_ptr<T>> free;
+  };
+  std::shared_ptr<Store> store_ = std::make_shared<Store>();
+};
 
 struct Packet {
   NodeId source = kInvalidNode;   // originating end host

@@ -12,11 +12,15 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 const Spt& Routing::spt(NodeId src) {
-  auto it = cache_.find(src);
-  if (it == cache_.end()) {
-    it = cache_.emplace(src, compute(src)).first;
+  if (src >= topo_->node_count()) {
+    throw std::out_of_range("Routing::spt: bad source");
   }
-  return it->second;
+  if (cache_.size() < topo_->node_count()) {
+    cache_.resize(topo_->node_count());
+  }
+  Spt& entry = cache_[src];
+  if (entry.root != src) entry = compute(src);
+  return entry;
 }
 
 Spt Routing::compute(NodeId src) const {
@@ -73,15 +77,19 @@ Spt Routing::compute(NodeId src) const {
 }
 
 double Routing::distance(NodeId from, NodeId to) {
-  const double d = spt(from).dist.at(to);
-  if (d == kInf) throw std::runtime_error("Routing::distance: unreachable");
-  return d;
+  const Spt& t = spt(from);
+  if (to >= t.dist.size() || t.dist[to] == kInf) {
+    throw std::runtime_error("Routing::distance: unreachable");
+  }
+  return t.dist[to];
 }
 
 int Routing::hop_count(NodeId from, NodeId to) {
-  const int h = spt(from).hops.at(to);
-  if (h < 0) throw std::runtime_error("Routing::hop_count: unreachable");
-  return h;
+  const Spt& t = spt(from);
+  if (to >= t.hops.size() || t.hops[to] < 0) {
+    throw std::runtime_error("Routing::hop_count: unreachable");
+  }
+  return t.hops[to];
 }
 
 std::vector<NodeId> Routing::path(NodeId from, NodeId to) {

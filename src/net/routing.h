@@ -7,7 +7,6 @@
 // repeatedly multicast from the same handful of sources.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.h"
@@ -49,7 +48,10 @@ class Routing {
   Spt compute(NodeId src) const;
 
   const Topology* topo_;
-  std::unordered_map<NodeId, Spt> cache_;
+  // Indexed by source node; an entry whose root differs from its slot is a
+  // hole (not yet computed).  Node ids are dense [0, node_count), so a flat
+  // vector beats hashing on the per-delivery distance lookups.
+  std::vector<Spt> cache_;
 };
 
 }  // namespace srm::net

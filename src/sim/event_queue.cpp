@@ -58,7 +58,48 @@ void EventQueue::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_top() {
+  const std::size_t n = heap_.size() - 1;
+  heap_[0] = heap_[n];
+  heap_.pop_back();
+  if (n > 1) sift_down(0);
+}
+
 EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
+  return schedule_at_seq(t, next_seq_++, std::move(fn));
+}
+
+EventHandle EventQueue::schedule_at_seq(Time t, std::uint64_t seq,
+                                        std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("EventQueue::schedule_at: time in the past");
   }
@@ -69,8 +110,8 @@ EventHandle EventQueue::schedule_at(Time t, std::function<void()> fn) {
   Slot& s = slot(index);
   s.fn = std::move(fn);
   s.live = true;
-  heap_.push_back(HeapEntry{t, next_seq_++, index, s.generation});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.push_back(HeapEntry{t, seq, index, s.generation});
+  sift_up(heap_.size() - 1);
   ++live_;
   if (tracer_->wants(trace::Category::kSim)) {
     trace::Event ev;
@@ -96,17 +137,14 @@ bool EventQueue::prune_top() {
     const HeapEntry& top = heap_.front();
     const Slot& s = slot(top.slot);
     if (s.live && s.generation == top.generation) return true;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    pop_top();
   }
   return false;
 }
 
-bool EventQueue::pop_and_run_one() {
-  if (!prune_top()) return false;
+void EventQueue::run_top() {
   const HeapEntry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
+  pop_top();
   now_ = top.when;
   if (tracer_->wants(trace::Category::kSim)) {
     trace::Event ev;
@@ -123,6 +161,11 @@ bool EventQueue::pop_and_run_one() {
   --live_;
   ++executed_total_;
   fn();
+}
+
+bool EventQueue::pop_and_run_one() {
+  if (!prune_top()) return false;
+  run_top();
   return true;
 }
 
@@ -137,7 +180,8 @@ std::size_t EventQueue::run_until(Time t_end) {
   stopped_ = false;
   std::size_t executed = 0;
   while (!stopped_ && prune_top() && heap_.front().when <= t_end) {
-    if (pop_and_run_one()) ++executed;
+    run_top();
+    ++executed;
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
   return executed;

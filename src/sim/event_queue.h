@@ -71,6 +71,23 @@ class EventQueue {
   // Schedules fn after dt seconds of virtual time (dt >= 0).
   EventHandle schedule_after(Time dt, std::function<void()> fn);
 
+  // Reserves n consecutive FIFO tie-break sequence numbers and returns the
+  // first.  Together with schedule_at_seq this lets a caller fix the
+  // tie-break order of a batch of future events up front and insert each
+  // entry lazily (the network's per-multicast delivery chains): pop order
+  // is the strict total order (when, seq) either way, so a lazily inserted
+  // entry fires exactly when the eagerly scheduled one would have.
+  std::uint64_t allocate_seqs(std::uint64_t n) {
+    const std::uint64_t first = next_seq_;
+    next_seq_ += n;
+    return first;
+  }
+  // Schedules fn at time t (>= now()) with a sequence number previously
+  // reserved via allocate_seqs().  Each reserved seq may be used at most
+  // once; reusing one breaks the queue's strict ordering.
+  EventHandle schedule_at_seq(Time t, std::uint64_t seq,
+                              std::function<void()> fn);
+
   // Runs events until the queue is empty or stop() is called.
   // Returns the number of events executed.
   std::size_t run();
@@ -114,18 +131,21 @@ class EventQueue {
   static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
 
   // Heap entries are small PODs: sifting moves 24 bytes, never a closure.
+  // The heap is 4-ary rather than binary: half the sift depth, and the four
+  // children of a node share a cache line pair, which matters when a burst
+  // of multicast deliveries holds tens of thousands of pending events.
+  // Pop order is the strict total order (when, seq) either way, so the
+  // simulation executes identically regardless of heap arity.
   struct HeapEntry {
     Time when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     std::uint32_t slot;
     std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
 
   Slot& slot(std::uint32_t index) {
     return slabs_[index >> kSlabBits][index & (kSlabSize - 1)];
@@ -139,8 +159,15 @@ class EventQueue {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  // Removes the top heap entry (live or tombstone) and restores heap order.
+  void pop_top();
+
   // Drops cancelled entries off the top; returns false if no live event.
   bool prune_top();
+  // Fires the top event; requires prune_top() to have returned true.
+  void run_top();
   bool pop_and_run_one();
 
   std::vector<std::unique_ptr<Slot[]>> slabs_;

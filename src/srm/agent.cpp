@@ -23,6 +23,8 @@ double rtt_of(double one_way_distance) {
 void MemberDirectory::bind(SourceId id, net::NodeId node) {
   to_node_[id] = node;
   to_source_[node] = id;
+  index_.intern(id);
+  ++version_;
 }
 
 void MemberDirectory::unbind(SourceId id) {
@@ -30,6 +32,7 @@ void MemberDirectory::unbind(SourceId id) {
   if (it == to_node_.end()) return;
   to_source_.erase(it->second);
   to_node_.erase(it);
+  ++version_;  // the dense index entry survives (Source-IDs are persistent)
 }
 
 net::NodeId MemberDirectory::node_of(SourceId id) const {
@@ -71,7 +74,7 @@ SrmAgent::SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
       // Per-host clock skew: distance estimation must not depend on
       // synchronized clocks, so every host gets a different offset.
       clock_(network.queue(), rng_.uniform(0.0, 1000.0)),
-      estimator_(clock_),
+      estimator_(clock_, &directory.index()),
       session_scheduler_(config.session, rng_.fork()),
       request_tuner_(config.adaptive,
                      AdaptiveTuner::Bounds{config.adaptive.c1_min,
@@ -211,11 +214,28 @@ std::optional<SeqNo> SrmAgent::advertised_max(const StreamKey& stream) const {
 double SrmAgent::distance_to(SourceId peer) const {
   if (peer == id_) return 0.0;
   if (config_.distance_mode == DistanceMode::kOracle) {
-    try {
-      return network_->distance(node_, directory_->node_of(peer));
-    } catch (const std::out_of_range&) {
-      return config_.default_distance;  // member not (or no longer) bound
+    const std::uint32_t idx = directory_->index().find(peer);
+    if (idx == MemberIndex::kNoIndex) {
+      return config_.default_distance;  // member never bound
     }
+    // Dense per-peer cache: resolved distances are stable until membership
+    // changes (bind/unbind bumps the directory version).
+    if (oracle_dist_version_ != directory_->version()) {
+      oracle_dist_.clear();
+      oracle_dist_version_ = directory_->version();
+    }
+    if (idx >= oracle_dist_.size()) {
+      oracle_dist_.resize(directory_->index().size(), -1.0);
+    }
+    double& cached = oracle_dist_[idx];
+    if (cached < 0.0) {
+      try {
+        cached = network_->distance(node_, directory_->node_of(peer));
+      } catch (const std::out_of_range&) {
+        cached = config_.default_distance;  // member no longer bound
+      }
+    }
+    return cached;
   }
   const auto est = estimator_.distance(peer);
   return est.value_or(config_.default_distance);
@@ -474,8 +494,7 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
   packet.ttl = ttl;
   packet.scope = (use_admin_scope_ && !escalate) ? net::Scope::kAdmin
                                                  : net::Scope::kGlobal;
-  packet.payload =
-      std::make_shared<RequestMessage>(name, id_, st.dist, ttl);
+  packet.payload = request_pool_.acquire(name, id_, st.dist, ttl);
   transmit(std::move(packet), recovery_priority(name));
 
   // "...and doubles the request timer to wait for the repair."
@@ -657,9 +676,9 @@ void SrmAgent::on_repair_timer_expired(const DataName& name) {
   packet.group = rs.request_group;
   packet.ttl = ttl;
   packet.scope = rs.request_scope;
-  packet.payload = std::make_shared<RepairMessage>(
-      name, data->second, id_, rs.requestor, distance_to(rs.requestor), ttl,
-      step_one);
+  packet.payload =
+      repair_pool_.acquire(name, data->second, id_, rs.requestor,
+                           distance_to(rs.requestor), ttl, step_one);
   transmit(std::move(packet), recovery_priority(name));
 
   rs.holddown_until = now + config_.holddown_multiplier *
@@ -736,8 +755,8 @@ void SrmAgent::handle_repair(const RepairMessage& msg,
     net::Packet out;
     out.group = packet.group;  // stay on the group the recovery runs on
     out.ttl = our_ttl;
-    out.payload = std::make_shared<RepairMessage>(
-        name, msg.payload(), id_, id_, 0.0, our_ttl, /*local_step_one=*/false);
+    out.payload = repair_pool_.acquire(name, msg.payload(), id_, id_, 0.0,
+                                       our_ttl, /*local_step_one=*/false);
     transmit(std::move(out), recovery_priority(name));
   }
 }
@@ -770,22 +789,27 @@ void SrmAgent::handle_session(const SessionMessage& msg) {
   }
 }
 
-SessionMessage::StateReport SrmAgent::build_state_report() const {
+void SrmAgent::build_state_report(SessionMessage::StateReport& out) const {
   // "Each member only reports the state of the page it is currently
   // viewing" (Sec. III-A).
-  SessionMessage::StateReport report;
+  out.clear();
   for (const auto& [stream, state] : streams_) {
     if (stream.page == current_page_ && state.any_known) {
-      report[stream] = state.advertised_max;
+      out[stream] = state.advertised_max;
     }
   }
-  return report;
 }
 
 void SrmAgent::send_session_message(int ttl) {
   ++metrics_.session_sent;
-  auto msg = std::make_shared<SessionMessage>(
-      id_, clock_.now(), build_state_report(), estimator_.build_echoes());
+  // Build into the scratch buffers, then hand them to a pooled message:
+  // SessionMessage::rebind swaps, so a recycled message's capacity flows
+  // back into the scratch and steady-state sends allocate nothing.
+  build_state_report(state_scratch_);
+  estimator_.build_echoes(echo_scratch_, config_.session.echo_rotation);
+  auto msg = session_pool_.acquire(id_, clock_.now(),
+                                   std::move(state_scratch_),
+                                   std::move(echo_scratch_));
   net::Packet packet;
   packet.group = group_;
   packet.ttl = ttl;

@@ -42,6 +42,7 @@
 #include "sim/timer.h"
 #include "srm/adaptive.h"
 #include "srm/config.h"
+#include "srm/member_index.h"
 #include "srm/messages.h"
 #include "srm/metrics.h"
 #include "srm/names.h"
@@ -55,6 +56,10 @@ namespace srm {
 // members currently run on.  In a real deployment this indirection is why
 // Source-IDs survive re-joins from different hosts; in the simulator it also
 // lets agents ask the routing oracle for distances when configured to.
+//
+// The directory also owns the session's dense member index (see
+// srm/member_index.h): every agent's per-peer vectors share one interning
+// table, so a Source-ID resolves to the same small int everywhere.
 class MemberDirectory {
  public:
   void bind(SourceId id, net::NodeId node);
@@ -63,9 +68,18 @@ class MemberDirectory {
   std::optional<SourceId> source_at(net::NodeId node) const;
   std::vector<SourceId> members() const;
 
+  MemberIndex& index() { return index_; }
+  const MemberIndex& index() const { return index_; }
+
+  // Bumped on every bind/unbind; per-agent caches keyed by the dense index
+  // (e.g. the oracle-distance cache) revalidate against it.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::unordered_map<SourceId, net::NodeId> to_node_;
   std::unordered_map<net::NodeId, SourceId> to_source_;
+  MemberIndex index_;
+  std::uint64_t version_ = 0;
 };
 
 class SrmAgent : public net::PacketSink {
@@ -320,7 +334,9 @@ class SrmAgent : public net::PacketSink {
   void drain_send_queue();
   Priority recovery_priority(const DataName& name) const;
 
-  SessionMessage::StateReport build_state_report() const;
+  // Fills `out` (cleared; capacity retained) with the current page's
+  // per-stream state.
+  void build_state_report(SessionMessage::StateReport& out) const;
   SessionMessage::StateReport page_state(const PageId& page) const;
   void schedule_next_session_message();
 
@@ -390,6 +406,23 @@ class SrmAgent : public net::PacketSink {
   RateLimiter rate_limiter_;
   std::unique_ptr<sim::Timer> session_timer_;
   std::unique_ptr<sim::Timer> send_queue_timer_;
+
+  // ---- large-session fast path ----
+  // Message freelists: each send recycles a message object (and, for
+  // session messages, its flat state/echo tables) once the previous send's
+  // deliveries have all fired.
+  net::MessagePool<SessionMessage> session_pool_;
+  net::MessagePool<RequestMessage> request_pool_;
+  net::MessagePool<RepairMessage> repair_pool_;
+  // Scratch buffers the next session message is built into; capacity
+  // circulates between these and pooled messages (SessionMessage::rebind
+  // swaps), so a session round settles into zero steady-state allocation.
+  SessionMessage::StateReport state_scratch_;
+  SessionMessage::Echoes echo_scratch_;
+  // Oracle-mode distances by dense member index (< 0 = not yet resolved);
+  // rebuilt whenever directory membership changes.
+  mutable std::vector<double> oracle_dist_;
+  mutable std::uint64_t oracle_dist_version_ = 0;
 
   struct QueuedSend {
     net::Packet packet;

@@ -87,6 +87,14 @@ struct SessionConfig {
   // Randomization spread: each interval is uniform in [0.5, 1.5] x mean,
   // which avoids synchronization of session messages across members.
   double jitter = 0.5;
+  // Echo rotation (the vat/RTCP behavior the paper adopts): cap the echo
+  // table of each outgoing session message at this many peers, rotating
+  // through the membership across messages so every peer is still echoed
+  // once per ceil(G/K) messages.  Keeps session messages O(K) instead of
+  // O(G) in very large groups at the cost of slower estimate convergence.
+  // 0 (the default) echoes every heard peer — bit-identical to the
+  // historical behavior.
+  std::size_t echo_rotation = 0;
 };
 
 struct LocalRecoveryConfig {

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +27,7 @@
 #include "net/packet.h"
 #include "sim/event_queue.h"
 #include "srm/names.h"
+#include "util/flat_map.h"
 
 namespace srm {
 
@@ -70,6 +70,15 @@ class RequestMessage final : public net::Message {
   double requestor_dist_to_source() const { return requestor_dist_to_source_; }
   int initial_ttl() const { return initial_ttl_; }
 
+  // Recycles this message for a new request (net::MessagePool contract).
+  void rebind(DataName name, SourceId requestor,
+              double requestor_dist_to_source, int initial_ttl) {
+    name_ = name;
+    requestor_ = requestor;
+    requestor_dist_to_source_ = requestor_dist_to_source;
+    initial_ttl_ = initial_ttl;
+  }
+
   std::string describe() const override {
     return "REQUEST " + to_string(name_) + " by " + std::to_string(requestor_);
   }
@@ -110,6 +119,19 @@ class RepairMessage final : public net::Message {
   // repair; the requestor answers it with the second, full-scope step.
   bool local_step_one() const { return local_step_one_; }
 
+  // Recycles this message for a new repair (net::MessagePool contract).
+  void rebind(DataName name, PayloadPtr payload, SourceId responder,
+              SourceId first_requestor, double responder_dist_to_requestor,
+              int initial_ttl, bool local_step_one = false) {
+    name_ = name;
+    payload_ = std::move(payload);
+    responder_ = responder;
+    first_requestor_ = first_requestor;
+    responder_dist_to_requestor_ = responder_dist_to_requestor;
+    initial_ttl_ = initial_ttl;
+    local_step_one_ = local_step_one;
+  }
+
   std::string describe() const override {
     return "REPAIR " + to_string(name_) + " by " + std::to_string(responder_);
   }
@@ -131,8 +153,9 @@ class RepairMessage final : public net::Message {
 class SessionMessage final : public net::Message {
  public:
   // State report: highest sequence number seen per active stream of the
-  // page the sender is currently viewing (Sec. III-A).
-  using StateReport = std::map<StreamKey, SeqNo>;
+  // page the sender is currently viewing (Sec. III-A).  Flat sorted vector:
+  // built once per send, binary-searched on receive (see util/flat_map.h).
+  using StateReport = util::FlatMap<StreamKey, SeqNo>;
 
   // Timestamp echo for NTP-lite distance estimation: "host B generates a
   // session packet marked with (t1, delta)" where t1 is the timestamp of the
@@ -141,10 +164,15 @@ class SessionMessage final : public net::Message {
   struct Echo {
     sim::Time peer_timestamp = 0.0;  // t1, in the peer's clock
     sim::Time hold_time = 0.0;       // delta, receiver-side residence time
+
+    friend bool operator==(const Echo&, const Echo&) = default;
   };
 
+  // Echo table, sorted by peer Source-ID.
+  using Echoes = util::FlatMap<SourceId, Echo>;
+
   SessionMessage(SourceId sender, sim::Time sender_timestamp,
-                 StateReport state, std::map<SourceId, Echo> echoes)
+                 StateReport state, Echoes echoes)
       : sender_(sender),
         sender_timestamp_(sender_timestamp),
         state_(std::move(state)),
@@ -155,7 +183,20 @@ class SessionMessage final : public net::Message {
   // synchronized across members).
   sim::Time sender_timestamp() const { return sender_timestamp_; }
   const StateReport& state() const { return state_; }
-  const std::map<SourceId, Echo>& echoes() const { return echoes_; }
+  const Echoes& echoes() const { return echoes_; }
+
+  // Recycles this message for a new send (net::MessagePool contract; only
+  // called once no delivery references the object).  Swaps rather than
+  // assigns the tables so the retiring message's vector capacity flows back
+  // into the caller's scratch buffers: a session round settles into zero
+  // steady-state allocation.
+  void rebind(SourceId sender, sim::Time sender_timestamp, StateReport&& state,
+              Echoes&& echoes) {
+    sender_ = sender;
+    sender_timestamp_ = sender_timestamp;
+    state_.swap(state);
+    echoes_.swap(echoes);
+  }
 
   std::string describe() const override {
     return "SESSION from " + std::to_string(sender_);
@@ -169,7 +210,7 @@ class SessionMessage final : public net::Message {
   SourceId sender_;
   sim::Time sender_timestamp_;
   StateReport state_;
-  std::map<SourceId, Echo> echoes_;
+  Echoes echoes_;
 };
 
 // Page-state recovery (Sec. III-A): "A receiver browsing over previous

@@ -7,7 +7,18 @@ namespace srm {
 void DistanceEstimator::on_session_message(const SessionMessage& msg,
                                            SourceId self) {
   const sim::Time t2 = clock_->now();
-  last_heard_[msg.sender()] = PeerRecord{msg.sender_timestamp(), t2};
+  const std::uint32_t idx = index_->intern(msg.sender());
+  if (idx >= slots_.size()) slots_.resize(index_->size());
+  PeerSlot& slot = slots_[idx];
+  if (!slot.heard) {
+    slot.heard = true;
+    const auto pos = std::lower_bound(
+        heard_.begin(), heard_.end(), msg.sender(),
+        [](const auto& entry, SourceId id) { return entry.first < id; });
+    heard_.insert(pos, {msg.sender(), idx});
+  }
+  slot.peer_timestamp = msg.sender_timestamp();
+  slot.arrival = t2;
 
   const auto echo = msg.echoes().find(self);
   if (echo != msg.echoes().end()) {
@@ -16,25 +27,48 @@ void DistanceEstimator::on_session_message(const SessionMessage& msg,
     // cancel and only the peer's hold-time measurement matters.
     const double rtt = t2 - echo->second.peer_timestamp - echo->second.hold_time;
     // Guard against transient negatives from pathological hold times.
-    estimates_[msg.sender()] = std::max(0.0, rtt / 2.0);
+    slot.estimate = std::max(0.0, rtt / 2.0);
+    slot.has_estimate = true;
   }
 }
 
-std::map<SourceId, SessionMessage::Echo> DistanceEstimator::build_echoes()
-    const {
-  std::map<SourceId, SessionMessage::Echo> echoes;
+void DistanceEstimator::build_echoes(SessionMessage::Echoes& out,
+                                     std::size_t max_echoes) {
+  out.clear();
   const sim::Time now = clock_->now();
-  for (const auto& [peer, rec] : last_heard_) {
-    echoes[peer] =
-        SessionMessage::Echo{rec.peer_timestamp, now - rec.arrival};
+  const std::size_t n = heard_.size();
+  const auto emit = [&](std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) {
+      const auto& [peer, idx] = heard_[i];
+      const PeerSlot& slot = slots_[idx];
+      out[peer] =
+          SessionMessage::Echo{slot.peer_timestamp, now - slot.arrival};
+    }
+  };
+  if (max_echoes == 0 || max_echoes >= n) {
+    emit(0, n);
+    return;
   }
-  return echoes;
+  // Rotating window [cursor, cursor + K) over the heard list, wrapped; the
+  // wrapped (low) half is emitted first so the table stays sorted.
+  const std::size_t start = rotation_cursor_ % n;
+  const std::size_t stop = start + max_echoes;
+  if (stop <= n) {
+    emit(start, stop);
+  } else {
+    emit(0, stop - n);
+    emit(start, n);
+  }
+  rotation_cursor_ = stop % n;
 }
 
 std::optional<double> DistanceEstimator::distance(SourceId peer) const {
-  const auto it = estimates_.find(peer);
-  if (it == estimates_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t idx = index_->find(peer);
+  if (idx == MemberIndex::kNoIndex || idx >= slots_.size() ||
+      !slots_[idx].has_estimate) {
+    return std::nullopt;
+  }
+  return slots_[idx].estimate;
 }
 
 sim::Time SessionScheduler::mean_interval(std::size_t group_size,

@@ -14,48 +14,84 @@
 // The estimate assumes roughly symmetric paths (the paper's assumption).
 #pragma once
 
-#include <map>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/timer.h"
 #include "srm/config.h"
+#include "srm/member_index.h"
 #include "srm/messages.h"
 #include "srm/names.h"
 #include "util/rng.h"
 
 namespace srm {
 
+// Per-peer state lives in dense vectors indexed by a MemberIndex (normally
+// the MemberDirectory's session-wide index, so every agent shares one
+// interning table); a standalone estimator owns a private index.  Folding
+// in a session message costs one hash lookup (the intern) and direct
+// vector stores; the echo table for the next outgoing message is one
+// linear walk of the heard list — no per-entry node allocations, which is
+// what made large-group session rounds O(G^2) allocations before.
 class DistanceEstimator {
  public:
-  // `clock` is this member's (possibly skewed) local clock.
-  explicit DistanceEstimator(const sim::LocalClock& clock) : clock_(&clock) {}
+  // `clock` is this member's (possibly skewed) local clock.  `index` is the
+  // shared dense member index; nullptr constructs a private one.
+  explicit DistanceEstimator(const sim::LocalClock& clock,
+                             MemberIndex* index = nullptr)
+      : clock_(&clock),
+        owned_index_(index ? nullptr : std::make_unique<MemberIndex>()),
+        index_(index ? index : owned_index_.get()) {}
 
   // Records the receipt of a session message from `peer`, and folds in any
   // echo addressed to us.
   void on_session_message(const SessionMessage& msg, SourceId self);
 
-  // Echoes to embed in our next outgoing session message: for every peer we
-  // have heard from, (their last timestamp, how long we have held it).
-  std::map<SourceId, SessionMessage::Echo> build_echoes() const;
+  // Fills `out` (cleared; capacity retained) with the echoes to embed in
+  // our next outgoing session message: for every peer we have heard from,
+  // (their last timestamp, how long we have held it), ascending Source-ID.
+  //
+  // `max_echoes` > 0 caps the table at that many peers, rotating through
+  // the membership across successive calls (the vat/RTCP behavior the
+  // paper adopts; SessionConfig::echo_rotation) so every peer is still
+  // echoed once per ceil(G/K) messages.  0 echoes everyone.
+  void build_echoes(SessionMessage::Echoes& out, std::size_t max_echoes = 0);
+
+  // Convenience wrapper for tests and small sessions.
+  SessionMessage::Echoes build_echoes(std::size_t max_echoes = 0) {
+    SessionMessage::Echoes out;
+    build_echoes(out, max_echoes);
+    return out;
+  }
 
   // Latest distance estimate to `peer` in seconds, if any exchange has
   // completed.
   std::optional<double> distance(SourceId peer) const;
 
   // Number of peers heard from (session-message based membership estimate).
-  std::size_t peers_heard() const { return last_heard_.size(); }
+  std::size_t peers_heard() const { return heard_.size(); }
 
  private:
-  struct PeerRecord {
+  struct PeerSlot {
     sim::Time peer_timestamp = 0.0;  // sender clock value in their message
     sim::Time arrival = 0.0;         // our clock when it arrived
+    double estimate = 0.0;
+    bool heard = false;
+    bool has_estimate = false;
   };
 
   const sim::LocalClock* clock_;
-  std::unordered_map<SourceId, PeerRecord> last_heard_;
-  std::unordered_map<SourceId, double> estimates_;
+  std::unique_ptr<MemberIndex> owned_index_;  // when not sharing one
+  MemberIndex* index_;
+  std::vector<PeerSlot> slots_;  // dense member index -> peer state
+  // Peers heard from, as (Source-ID, dense index) ascending by Source-ID:
+  // one linear walk emits a sorted echo table.  Insertion is O(H) but only
+  // on the first message from a new peer.
+  std::vector<std::pair<SourceId, std::uint32_t>> heard_;
+  std::size_t rotation_cursor_ = 0;  // next echo-rotation window start
 };
 
 // Schedules session messages at an average rate that scales inversely with

@@ -43,7 +43,7 @@ TEST(MessagesTest, RepairCarriesTwoStepFields) {
 TEST(MessagesTest, SessionStateAndEchoes) {
   SessionMessage::StateReport state;
   state[StreamKey{1, PageId{1, 0}}] = 42;
-  std::map<SourceId, SessionMessage::Echo> echoes;
+  SessionMessage::Echoes echoes;
   echoes[7] = SessionMessage::Echo{10.0, 3.0};
   SessionMessage m(/*sender=*/9, /*timestamp=*/123.0, state, echoes);
   EXPECT_EQ(m.sender(), 9u);
@@ -70,7 +70,7 @@ TEST(MessagesTest, PolymorphicDispatchViaBasePointer) {
   msgs.push_back(
       std::make_shared<RepairMessage>(DataName{}, nullptr, 0, 0, 0.0, 1));
   msgs.push_back(std::make_shared<SessionMessage>(
-      0, 0.0, SessionMessage::StateReport{}, std::map<SourceId, SessionMessage::Echo>{}));
+      0, 0.0, SessionMessage::StateReport{}, SessionMessage::Echoes{}));
   EXPECT_NE(dynamic_cast<const DataMessage*>(msgs[0].get()), nullptr);
   EXPECT_EQ(dynamic_cast<const DataMessage*>(msgs[1].get()), nullptr);
   EXPECT_NE(dynamic_cast<const RequestMessage*>(msgs[1].get()), nullptr);

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "topo/builders.h"
 #include "harness/session.h"
+#include "util/rng.h"
 
 namespace srm {
 namespace {
@@ -56,7 +60,7 @@ TEST(DistanceEstimatorTest, NegativeArtifactsClampToZero) {
   sim::LocalClock clock(q, 0.0);
   DistanceEstimator est(clock);
   // Echo claims a hold time larger than the elapsed time: clamp, not negative.
-  std::map<SourceId, SessionMessage::Echo> echoes;
+  SessionMessage::Echoes echoes;
   echoes[1] = SessionMessage::Echo{0.0, 50.0};
   q.schedule_at(10.0, [&] {
     SessionMessage msg(2, 0.0, {}, echoes);
@@ -65,6 +69,154 @@ TEST(DistanceEstimatorTest, NegativeArtifactsClampToZero) {
   q.run();
   ASSERT_TRUE(est.distance(2).has_value());
   EXPECT_GE(*est.distance(2), 0.0);
+}
+
+TEST(DistanceEstimatorTest, EstimatesIndependentOfClockSkew) {
+  // Run the identical two-way exchange under wildly different clock offsets;
+  // the NTP-lite algebra (Sec. III-A) cancels offsets, so the estimate must
+  // not move.
+  const auto estimate_with_offsets = [](double offset_a, double offset_b) {
+    sim::EventQueue q;
+    sim::LocalClock clock_a(q, offset_a);
+    sim::LocalClock clock_b(q, offset_b);
+    DistanceEstimator est_a(clock_a);
+    DistanceEstimator est_b(clock_b);
+    SessionMessage from_a(1, clock_a.now(), {}, {});
+    q.schedule_at(2.5, [&] { est_b.on_session_message(from_a, 2); });
+    std::shared_ptr<SessionMessage> from_b;
+    q.schedule_at(9.0, [&] {
+      from_b = std::make_shared<SessionMessage>(
+          2, clock_b.now(), SessionMessage::StateReport{}, est_b.build_echoes());
+    });
+    q.schedule_at(11.5, [&] { est_a.on_session_message(*from_b, 1); });
+    q.run();
+    return est_a.distance(2);
+  };
+  const auto plain = estimate_with_offsets(0.0, 0.0);
+  const auto skewed = estimate_with_offsets(1.0e6, -3141.5);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(skewed.has_value());
+  EXPECT_DOUBLE_EQ(*plain, *skewed);
+  EXPECT_NEAR(*plain, 2.5, 1e-9);
+}
+
+TEST(DistanceEstimatorTest, EchoRotationWindowsRotateAndStaySorted) {
+  sim::EventQueue q;
+  sim::LocalClock clock(q, 0.0);
+  DistanceEstimator est(clock);
+  // Hear five peers (deliberately out of id order).
+  for (SourceId peer : {30u, 10u, 50u, 20u, 40u}) {
+    SessionMessage msg(peer, 0.0, {}, {});
+    est.on_session_message(msg, 1);
+  }
+  ASSERT_EQ(est.peers_heard(), 5u);
+
+  const auto keys_of = [](const SessionMessage::Echoes& e) {
+    std::vector<SourceId> keys;
+    for (const auto& [peer, echo] : e) keys.push_back(peer);
+    return keys;
+  };
+  // K = 0 (the default) echoes everyone, in ascending id order.
+  EXPECT_EQ(keys_of(est.build_echoes()),
+            (std::vector<SourceId>{10, 20, 30, 40, 50}));
+  // K = 2 walks a rotating window over the heard list; each table is still
+  // sorted (the wrapped half is emitted first) and four builds cover every
+  // peer at least once.
+  EXPECT_EQ(keys_of(est.build_echoes(2)), (std::vector<SourceId>{10, 20}));
+  EXPECT_EQ(keys_of(est.build_echoes(2)), (std::vector<SourceId>{30, 40}));
+  EXPECT_EQ(keys_of(est.build_echoes(2)), (std::vector<SourceId>{10, 50}));
+  EXPECT_EQ(keys_of(est.build_echoes(2)), (std::vector<SourceId>{20, 30}));
+  // A cap at or above the heard count degenerates to echo-everyone.
+  EXPECT_EQ(keys_of(est.build_echoes(9)),
+            (std::vector<SourceId>{10, 20, 30, 40, 50}));
+}
+
+TEST(DistanceEstimatorTest, MatchesMapBasedReferenceOnRecordedExchange) {
+  // Reference implementation: the std::map-based estimator this PR replaced,
+  // transcribed directly.  Replay one recorded randomized exchange through
+  // both and require identical observable state.
+  struct RefEstimator {
+    struct Peer {
+      double timestamp = 0.0;
+      double arrival = 0.0;
+    };
+    std::map<SourceId, Peer> peers;
+    std::map<SourceId, double> estimates;
+
+    void on_session_message(const SessionMessage& msg, SourceId self,
+                            double now) {
+      Peer& p = peers[msg.sender()];
+      p.timestamp = msg.sender_timestamp();
+      p.arrival = now;
+      const auto echo = msg.echoes().find(self);
+      if (echo != msg.echoes().end()) {
+        const double rtt =
+            now - echo->second.peer_timestamp - echo->second.hold_time;
+        estimates[msg.sender()] = std::max(0.0, rtt / 2.0);
+      }
+    }
+    std::map<SourceId, SessionMessage::Echo> build_echoes(double now) const {
+      std::map<SourceId, SessionMessage::Echo> out;
+      for (const auto& [id, p] : peers) {
+        out[id] = SessionMessage::Echo{p.timestamp, now - p.arrival};
+      }
+      return out;
+    }
+  };
+
+  sim::EventQueue q;
+  sim::LocalClock clock(q, 0.0);
+  DistanceEstimator est(clock);
+  RefEstimator ref;
+  const SourceId self = 5;
+  util::Rng rng(99);
+
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.uniform(0.01, 2.0);
+    const auto sender = static_cast<SourceId>(rng.index(12));
+    const double sender_ts = rng.uniform(0.0, 50.0);
+    SessionMessage::Echoes echoes;
+    if (rng.index(3) != 0) {
+      // Echo for us, sometimes with a pathological hold time to exercise
+      // the clamp in both implementations.
+      echoes[self] = SessionMessage::Echo{rng.uniform(0.0, t),
+                                          rng.uniform(0.0, t + 10.0)};
+    }
+    q.schedule_at(t, [&est, &ref, &q, sender, sender_ts, echoes] {
+      SessionMessage msg(sender, sender_ts, {}, echoes);
+      est.on_session_message(msg, self);
+      ref.on_session_message(msg, self, q.now());
+    });
+  }
+  const double t_end = t + 1.0;
+  q.schedule_at(t_end, [&] {
+    // Per-peer estimates match the reference exactly (bit-for-bit).
+    for (SourceId peer = 0; peer < 12; ++peer) {
+      const auto got = est.distance(peer);
+      const auto want = ref.estimates.find(peer);
+      if (want == ref.estimates.end()) {
+        EXPECT_FALSE(got.has_value()) << "peer " << peer;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "peer " << peer;
+        EXPECT_DOUBLE_EQ(*got, want->second) << "peer " << peer;
+      }
+    }
+    // The echo table we would send next matches entry-for-entry, in the
+    // same iteration order.
+    const auto ref_echoes = ref.build_echoes(q.now());
+    const auto flat_echoes = est.build_echoes();
+    ASSERT_EQ(flat_echoes.size(), ref_echoes.size());
+    auto fit = flat_echoes.begin();
+    for (const auto& [peer, echo] : ref_echoes) {
+      EXPECT_EQ(fit->first, peer);
+      EXPECT_DOUBLE_EQ(fit->second.peer_timestamp, echo.peer_timestamp);
+      EXPECT_DOUBLE_EQ(fit->second.hold_time, echo.hold_time);
+      ++fit;
+    }
+  });
+  q.run();
+  EXPECT_EQ(est.peers_heard(), ref.peers.size());
 }
 
 // --- End-to-end: agents exchanging real session messages --------------------
@@ -80,6 +232,36 @@ TEST(SessionIntegrationTest, EstimatesConvergeToOracleOnChain) {
 
   // Two full rounds of session messages so everyone has echoed everyone.
   for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < s.member_count(); ++i) {
+      s.agent(i).send_session_message();
+      s.queue().run();
+    }
+  }
+
+  for (std::size_t i = 0; i < s.member_count(); ++i) {
+    for (std::size_t j = 0; j < s.member_count(); ++j) {
+      if (i == j) continue;
+      const double est = s.agent(i).distance_to(s.agent(j).id());
+      const double oracle =
+          s.network().distance(s.agent(i).node(), s.agent(j).node());
+      EXPECT_NEAR(est, oracle, 1e-9) << i << " -> " << j;
+    }
+  }
+}
+
+TEST(SessionIntegrationTest, EchoRotationStillConvergesToOracle) {
+  // With echoes capped at 2 peers per session message, full coverage takes
+  // more rounds, but every pair still converges to the oracle distance.
+  SrmConfig cfg;
+  cfg.distance_mode = DistanceMode::kEstimated;
+  cfg.session.enabled = false;  // messages sent manually below
+  cfg.session.echo_rotation = 2;
+
+  auto topo = topo::make_chain(5);
+  harness::SimSession s(std::move(topo), {0, 1, 2, 3, 4},
+                        {cfg, /*seed=*/7, /*group=*/1});
+
+  for (int round = 0; round < 6; ++round) {
     for (std::size_t i = 0; i < s.member_count(); ++i) {
       s.agent(i).send_session_message();
       s.queue().run();

@@ -1,0 +1,104 @@
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.h"
+
+namespace srm::util {
+namespace {
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<int, double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(m.count(1), 0u);
+}
+
+TEST(FlatMapTest, AscendingAppendAndLookup) {
+  FlatMap<int, std::string> m;
+  m[1] = "a";
+  m[3] = "b";
+  m[7] = "c";
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at(1), "a");
+  EXPECT_EQ(m.at(3), "b");
+  EXPECT_EQ(m.at(7), "c");
+  EXPECT_EQ(m.count(3), 1u);
+  EXPECT_EQ(m.find(2), m.end());
+  EXPECT_THROW(m.at(2), std::out_of_range);
+}
+
+TEST(FlatMapTest, OutOfOrderInsertKeepsSortedOrder) {
+  FlatMap<int, int> m;
+  m[5] = 50;
+  m[1] = 10;
+  m[3] = 30;
+  m[4] = 40;
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 4, 5}));
+  EXPECT_EQ(m.at(1), 10);
+  EXPECT_EQ(m.at(4), 40);
+}
+
+TEST(FlatMapTest, OperatorBracketAssignsExisting) {
+  FlatMap<int, int> m;
+  m[2] = 20;
+  m[2] = 21;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(2), 21);
+  m.insert_or_assign(2, 22);
+  EXPECT_EQ(m.at(2), 22);
+}
+
+TEST(FlatMapTest, IterationOrderMatchesStdMap) {
+  // The protocol relies on session tables iterating exactly like the
+  // std::map they replaced; drive both with the same random key stream.
+  FlatMap<unsigned, unsigned> flat;
+  std::map<unsigned, unsigned> ref;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto key = static_cast<unsigned>(rng.index(200));
+    const auto value = static_cast<unsigned>(i);
+    flat[key] = value;
+    ref[key] = value;
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(fit->first, k);
+    EXPECT_EQ(fit->second, v);
+    ++fit;
+  }
+}
+
+TEST(FlatMapTest, EqualityComparesContents) {
+  FlatMap<int, int> a;
+  FlatMap<int, int> b;
+  a[1] = 10;
+  a[2] = 20;
+  b[1] = 10;
+  EXPECT_NE(a, b);
+  b[2] = 20;
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacitySwapStealsStorage) {
+  FlatMap<int, int> a;
+  for (int i = 0; i < 16; ++i) a[i] = i;
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  FlatMap<int, int> b;
+  b[9] = 90;
+  a.swap(b);
+  EXPECT_TRUE(b.empty());
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.at(9), 90);
+}
+
+}  // namespace
+}  // namespace srm::util
