@@ -3,8 +3,11 @@
 
 Compares a freshly measured perf JSON (the two-level section -> metric ->
 value format written by util::PerfJson) against the baseline committed in
-the repository (BENCH_kernel.json, BENCH_session.json) and fails when any
-metric regresses by more than the tolerance (default 20%).
+the repository (BENCH_kernel.json, BENCH_session.json, BENCH_fault.json)
+and fails when any metric regresses by more than the tolerance (default
+20%).  BENCH_fault.json's recovery-latency percentiles are virtual-time
+(``*_us``) and therefore machine-independent: any drift is a behavioral
+change, not measurement noise.
 
 Direction is inferred from the metric name:
   * ``*_per_second``                      -- higher is better

@@ -1,0 +1,170 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace srm::fault {
+
+FaultInjector::FaultInjector(sim::EventQueue& queue, net::Topology& topology,
+                             net::MulticastNetwork& network, FaultPlan plan,
+                             util::Rng rng)
+    : queue_(&queue),
+      topo_(&topology),
+      network_(&network),
+      plan_(std::move(plan)),
+      rng_(std::move(rng)),
+      cuts_(plan_.partition_count()) {
+  if (&network.topology() != &topology) {
+    throw std::invalid_argument(
+        "FaultInjector: network is not built on this topology");
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+  armed_ = true;
+  const double now = queue_->now();
+  for (const FaultEvent& event : plan_.sorted()) {
+    queue_->schedule_at(std::max(event.at, now),
+                        [this, event] { apply(event); });
+  }
+}
+
+void FaultInjector::emit(trace::EventType type, std::uint64_t actor,
+                         std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                         double x, double y) {
+  if (!tracer_->wants(trace::Category::kFault)) return;
+  trace::Event ev;
+  ev.type = type;
+  ev.t = queue_->now();
+  ev.actor = actor;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.x = x;
+  ev.y = y;
+  tracer_->emit(ev);
+}
+
+void FaultInjector::open_disruption() {
+  if (active_disruptions_++ == 0) {
+    Window w;
+    w.start = queue_->now();
+    windows_.push_back(w);
+  }
+}
+
+void FaultInjector::close_disruption() {
+  if (--active_disruptions_ == 0) windows_.back().end = queue_->now();
+}
+
+void FaultInjector::take_link_down(net::LinkId link) {
+  if (!topo_->link_up(link)) return;  // already down
+  // Order matters: in-flight deliveries were routed over the pre-failure
+  // trees, so they must be invalidated while those trees are still cached.
+  network_->invalidate_in_flight(link);
+  topo_->set_link_up(link, false);
+  ++stats_.links_taken_down;
+  open_disruption();
+}
+
+void FaultInjector::bring_link_up(net::LinkId link) {
+  if (topo_->link_up(link)) return;  // already up
+  topo_->set_link_up(link, true);
+  ++stats_.links_brought_up;
+  close_disruption();
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kLinkDown: {
+      const net::Link& l = topo_->link(event.link);
+      take_link_down(event.link);
+      emit(trace::EventType::kFaultLinkDown, 0, event.link, l.a, l.b);
+      break;
+    }
+    case FaultEvent::Kind::kLinkUp: {
+      const net::Link& l = topo_->link(event.link);
+      bring_link_up(event.link);
+      emit(trace::EventType::kFaultLinkUp, 0, event.link, l.a, l.b);
+      break;
+    }
+    case FaultEvent::Kind::kPartition: {
+      // The cut: every up link with exactly one endpoint in the island,
+      // collected in link-id order (determinism).
+      std::vector<bool> in_island(topo_->node_count(), false);
+      for (net::NodeId n : event.island) in_island.at(n) = true;
+      std::vector<net::LinkId>& cut = cuts_.at(event.partition_ordinal);
+      cut.clear();
+      const auto& links = topo_->links();
+      for (net::LinkId id = 0; id < links.size(); ++id) {
+        if (!links[id].up) continue;
+        if (in_island[links[id].a] != in_island[links[id].b]) {
+          cut.push_back(id);
+        }
+      }
+      for (net::LinkId id : cut) take_link_down(id);
+      ++stats_.partitions;
+      emit(trace::EventType::kFaultPartition, 0, event.partition_ordinal,
+           cut.size());
+      break;
+    }
+    case FaultEvent::Kind::kHeal: {
+      const std::vector<net::LinkId>& cut = cuts_.at(event.partition_ordinal);
+      for (net::LinkId id : cut) bring_link_up(id);
+      ++stats_.heals;
+      emit(trace::EventType::kFaultHeal, 0, event.partition_ordinal,
+           cut.size());
+      break;
+    }
+    case FaultEvent::Kind::kJoin:
+    case FaultEvent::Kind::kRejoin: {
+      if (hooks_.join) hooks_.join(event.node);
+      ++stats_.joins;
+      emit(event.kind == FaultEvent::Kind::kJoin
+               ? trace::EventType::kFaultJoin
+               : trace::EventType::kFaultRejoin,
+           event.node);
+      break;
+    }
+    case FaultEvent::Kind::kLeave: {
+      if (hooks_.leave) hooks_.leave(event.node, /*graceful=*/true);
+      ++stats_.leaves;
+      emit(trace::EventType::kFaultLeave, event.node);
+      break;
+    }
+    case FaultEvent::Kind::kCrash: {
+      if (hooks_.leave) hooks_.leave(event.node, /*graceful=*/false);
+      ++stats_.crashes;
+      emit(trace::EventType::kFaultCrash, event.node);
+      break;
+    }
+    case FaultEvent::Kind::kBurstOn: {
+      network_->set_fault_drop_policy(
+          std::make_shared<net::GilbertElliottDrop>(event.burst, rng_.fork()));
+      if (!burst_active_) {
+        burst_active_ = true;
+        open_disruption();
+      }
+      ++stats_.burst_epochs;
+      emit(trace::EventType::kFaultBurstOn, 0,
+           static_cast<std::uint64_t>(event.burst.loss_good * 1e6),
+           static_cast<std::uint64_t>(event.burst.loss_bad * 1e6), 0,
+           event.burst.p_good_bad, event.burst.p_bad_good);
+      break;
+    }
+    case FaultEvent::Kind::kBurstOff: {
+      if (burst_active_) {
+        network_->set_fault_drop_policy(nullptr);
+        burst_active_ = false;
+        close_disruption();
+      }
+      emit(trace::EventType::kFaultBurstOff, 0);
+      break;
+    }
+  }
+}
+
+}  // namespace srm::fault

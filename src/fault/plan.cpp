@@ -1,0 +1,309 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace srm::fault {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& why) {
+  throw std::invalid_argument("FaultPlan::parse: line " +
+                              std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLinkDown:
+      return "link_down";
+    case FaultEvent::Kind::kLinkUp:
+      return "link_up";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kJoin:
+      return "join";
+    case FaultEvent::Kind::kLeave:
+      return "leave";
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRejoin:
+      return "rejoin";
+    case FaultEvent::Kind::kBurstOn:
+      return "burst_on";
+    case FaultEvent::Kind::kBurstOff:
+      return "burst_off";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::push(FaultEvent event) {
+  if (event.at < 0.0) {
+    throw std::invalid_argument("FaultPlan: negative event time");
+  }
+  if (event.kind == FaultEvent::Kind::kPartition) {
+    if (event.island.empty()) {
+      throw std::invalid_argument("FaultPlan: empty partition island");
+    }
+    // A partition carries its own ordinal (plan order), so heal events keep
+    // referring to the right cut even after sorting by time.
+    event.partition_ordinal = partitions_;
+    ++partitions_;
+  }
+  if (event.kind == FaultEvent::Kind::kHeal &&
+      event.partition_ordinal >= partitions_) {
+    throw std::invalid_argument(
+        "FaultPlan: heal refers to a partition not yet in the plan");
+  }
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(double at, net::LinkId link) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLinkDown;
+  e.at = at;
+  e.link = link;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::link_up(double at, net::LinkId link) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLinkUp;
+  e.at = at;
+  e.link = link;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::partition(double at, std::vector<net::NodeId> island) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kPartition;
+  e.at = at;
+  e.island = std::move(island);
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::heal(double at, std::size_t partition_ordinal) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kHeal;
+  e.at = at;
+  e.partition_ordinal = partition_ordinal;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::join(double at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kJoin;
+  e.at = at;
+  e.node = node;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::leave(double at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLeave;
+  e.at = at;
+  e.node = node;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::crash(double at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCrash;
+  e.at = at;
+  e.node = node;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::rejoin(double at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kRejoin;
+  e.at = at;
+  e.node = node;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::burst_on(double at,
+                               net::GilbertElliottDrop::Params params) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kBurstOn;
+  e.at = at;
+  e.burst = params;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::burst_off(double at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kBurstOff;
+  e.at = at;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  const std::size_t offset = partitions_;
+  const std::vector<FaultEvent> src = other.events_;  // self-merge safe
+  for (FaultEvent e : src) {
+    if (e.kind == FaultEvent::Kind::kPartition) {
+      e.partition_ordinal = partitions_++;
+    } else if (e.kind == FaultEvent::Kind::kHeal) {
+      e.partition_ordinal += offset;
+    }
+    events_.push_back(std::move(e));
+  }
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank or comment-only line
+
+    double at = 0.0;
+    if (!(fields >> at)) bad_line(line_no, "missing event time");
+    if (at < 0.0) bad_line(line_no, "negative event time");
+
+    const auto read_u64 = [&](const char* what) {
+      std::uint64_t v = 0;
+      if (!(fields >> v)) bad_line(line_no, std::string("missing ") + what);
+      return v;
+    };
+    const auto expect_end = [&] {
+      std::string extra;
+      if (fields >> extra) bad_line(line_no, "trailing input '" + extra + "'");
+    };
+
+    if (keyword == "link_down" || keyword == "link_up") {
+      const auto link = static_cast<net::LinkId>(read_u64("link id"));
+      expect_end();
+      if (keyword == "link_down") {
+        plan.link_down(at, link);
+      } else {
+        plan.link_up(at, link);
+      }
+    } else if (keyword == "partition") {
+      std::vector<net::NodeId> island;
+      std::uint64_t node = 0;
+      while (fields >> node) island.push_back(static_cast<net::NodeId>(node));
+      if (island.empty()) bad_line(line_no, "partition needs >= 1 node");
+      plan.partition(at, std::move(island));
+    } else if (keyword == "heal") {
+      const std::size_t ordinal = read_u64("partition ordinal");
+      expect_end();
+      if (ordinal >= plan.partition_count()) {
+        bad_line(line_no, "heal refers to a partition not yet in the plan");
+      }
+      plan.heal(at, ordinal);
+    } else if (keyword == "join" || keyword == "leave" ||
+               keyword == "crash" || keyword == "rejoin") {
+      const auto node = static_cast<net::NodeId>(read_u64("node id"));
+      expect_end();
+      if (keyword == "join") {
+        plan.join(at, node);
+      } else if (keyword == "leave") {
+        plan.leave(at, node);
+      } else if (keyword == "crash") {
+        plan.crash(at, node);
+      } else {
+        plan.rejoin(at, node);
+      }
+    } else if (keyword == "burst_on") {
+      net::GilbertElliottDrop::Params p;
+      if (!(fields >> p.p_good_bad >> p.p_bad_good >> p.loss_bad)) {
+        bad_line(line_no, "burst_on needs p_gb p_bg loss_bad [loss_good]");
+      }
+      if (!(fields >> p.loss_good)) p.loss_good = 0.0;
+      expect_end();
+      const auto in_unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+      if (!in_unit(p.p_good_bad) || !in_unit(p.p_bad_good) ||
+          !in_unit(p.loss_bad) || !in_unit(p.loss_good)) {
+        bad_line(line_no, "burst_on probability outside [0,1]");
+      }
+      plan.burst_on(at, p);
+    } else if (keyword == "burst_off") {
+      expect_end();
+      plan.burst_off(at);
+    } else {
+      bad_line(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::string FaultPlan::to_text() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += kind_name(e.kind);
+    out += ' ';
+    append_double(out, e.at);
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+        out += ' ';
+        out += std::to_string(e.link);
+        break;
+      case FaultEvent::Kind::kPartition:
+        for (net::NodeId n : e.island) {
+          out += ' ';
+          out += std::to_string(n);
+        }
+        break;
+      case FaultEvent::Kind::kHeal:
+        out += ' ';
+        out += std::to_string(e.partition_ordinal);
+        break;
+      case FaultEvent::Kind::kJoin:
+      case FaultEvent::Kind::kLeave:
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kRejoin:
+        out += ' ';
+        out += std::to_string(e.node);
+        break;
+      case FaultEvent::Kind::kBurstOn:
+        for (double v : {e.burst.p_good_bad, e.burst.p_bad_good,
+                         e.burst.loss_bad, e.burst.loss_good}) {
+          out += ' ';
+          append_double(out, v);
+        }
+        break;
+      case FaultEvent::Kind::kBurstOff:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace srm::fault

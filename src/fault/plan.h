@@ -1,0 +1,116 @@
+// FaultPlan: a deterministic, seedable schedule of network-dynamics events.
+//
+// The paper's robustness claims — SRM "does not depend on any particular
+// member being up" and recovers from "partitioned networks, where members
+// on each side of the partition continue" (Sec. III-D) — are exactly the
+// scenarios a FaultPlan scripts: link failures and repairs, scripted
+// partitions and heals, member join/leave/crash/rejoin churn, and bursty
+// (Gilbert-Elliott) loss epochs.  A plan is pure data; the FaultInjector
+// (fault/injector.h) schedules it on the simulation event queue.
+//
+// Plans round-trip through a line-oriented text format (one event per line,
+// '#' comments), so scenarios can live in files next to experiments and be
+// passed to `srmsim --faults <file>`:
+//
+//   # seconds  arguments
+//   link_down  10.0  3            # take link 3 down
+//   link_up    20.0  3            # bring it back
+//   partition  30.0  5 6 7        # cut nodes {5,6,7} off from the rest
+//   heal       45.0  0            # undo partition #0 (0-based, in plan order)
+//   leave      12.0  4            # member at node 4 departs gracefully
+//   crash      13.0  9            # member at node 9 dies silently
+//   join       25.0  11           # a (new or returning) member at node 11
+//   rejoin     40.0  9            # the crashed member comes back
+//   burst_on   50.0  0.05 0.25 1.0 0.0   # GE: p_gb p_bg loss_bad [loss_good]
+//   burst_off  80.0
+//
+// Events may appear in any order in the file; the injector sorts by time
+// (ties broken by file order) before scheduling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/drop_policy.h"
+#include "net/topology.h"
+
+namespace srm::fault {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kPartition,
+    kHeal,
+    kJoin,
+    kLeave,
+    kCrash,
+    kRejoin,
+    kBurstOn,
+    kBurstOff,
+  };
+
+  Kind kind = Kind::kLinkDown;
+  double at = 0.0;  // virtual time (seconds)
+
+  net::LinkId link = 0;                // kLinkDown / kLinkUp
+  std::vector<net::NodeId> island;     // kPartition: nodes cut off
+  std::size_t partition_ordinal = 0;   // kHeal: which partition (plan order)
+  net::NodeId node = 0;                // membership events
+  net::GilbertElliottDrop::Params burst;  // kBurstOn
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// Human-readable keyword for a kind ("link_down", "partition", ...).
+const char* kind_name(FaultEvent::Kind kind);
+
+class FaultPlan {
+ public:
+  // Fluent builders, all times in seconds of virtual time.
+  FaultPlan& link_down(double at, net::LinkId link);
+  FaultPlan& link_up(double at, net::LinkId link);
+  // Cuts every up link with exactly one endpoint in `island` at time `at`.
+  // Returns this plan; the partition's ordinal (for heal()) is the number
+  // of partition events added before it.
+  FaultPlan& partition(double at, std::vector<net::NodeId> island);
+  FaultPlan& heal(double at, std::size_t partition_ordinal);
+  FaultPlan& join(double at, net::NodeId node);
+  FaultPlan& leave(double at, net::NodeId node);
+  FaultPlan& crash(double at, net::NodeId node);
+  FaultPlan& rejoin(double at, net::NodeId node);
+  FaultPlan& burst_on(double at, net::GilbertElliottDrop::Params params);
+  FaultPlan& burst_off(double at);
+
+  // Appends every event of `other`, renumbering its partitions (and the
+  // heals that reference them) after this plan's — so independently built
+  // plans (e.g. a partition/heal round trip and a churn schedule) compose.
+  FaultPlan& merge(const FaultPlan& other);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  // Number of partition events in the plan (valid heal ordinals are
+  // [0, partition_count)).
+  std::size_t partition_count() const { return partitions_; }
+
+  // Events sorted by (time, insertion order) — the order the injector
+  // schedules them in.
+  std::vector<FaultEvent> sorted() const;
+
+  // Text round-trip (the format documented at the top of this header).
+  // parse throws std::invalid_argument with a line number on bad input.
+  static FaultPlan parse(std::istream& in);
+  static FaultPlan parse_text(const std::string& text);
+  std::string to_text() const;
+
+ private:
+  FaultPlan& push(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+  std::size_t partitions_ = 0;
+};
+
+}  // namespace srm::fault

@@ -9,6 +9,7 @@ SimSession::SimSession(net::Topology topo,
     : topo_(std::move(topo)),
       network_(queue_, topo_),
       rng_(options.seed),
+      options_(options),
       member_nodes_(std::move(member_nodes)) {
   agents_.reserve(member_nodes_.size());
   for (std::size_t i = 0; i < member_nodes_.size(); ++i) {
@@ -28,6 +29,39 @@ SrmAgent& SimSession::agent_at(net::NodeId node) {
     throw std::out_of_range("SimSession::agent_at: node has no member");
   }
   return *agents_[it->second];
+}
+
+SrmAgent& SimSession::add_member(net::NodeId node) {
+  if (index_of_.count(node) != 0) {
+    throw std::logic_error("SimSession::add_member: node already a member");
+  }
+  auto agent = std::make_unique<SrmAgent>(
+      network_, directory_, node, /*id=*/static_cast<SourceId>(node),
+      options_.group, options_.srm, rng_.fork());
+  agent->set_tracer(tracer_);
+  agent->start();
+  index_of_[node] = agents_.size();
+  member_nodes_.push_back(node);
+  agents_.push_back(std::move(agent));
+  return *agents_.back();
+}
+
+void SimSession::remove_member(net::NodeId node, bool graceful) {
+  const auto it = index_of_.find(node);
+  if (it == index_of_.end()) {
+    throw std::out_of_range("SimSession::remove_member: node has no member");
+  }
+  const std::size_t i = it->second;
+  SrmAgent& agent = *agents_[i];
+  if (graceful) agent.send_session_message();
+  agent.stop();  // leaves the group, cancels timers, detaches, unbinds
+  agents_.erase(agents_.begin() + static_cast<std::ptrdiff_t>(i));
+  member_nodes_.erase(member_nodes_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+  index_of_.erase(it);
+  for (auto& [n, idx] : index_of_) {
+    if (idx > i) --idx;
+  }
 }
 
 }  // namespace srm::harness

@@ -34,8 +34,12 @@ class SimSession {
   sim::EventQueue& queue() { return queue_; }
   net::MulticastNetwork& network() { return network_; }
   const net::Topology& topology() const { return topo_; }
+  // Mutable access for fault injection (link dynamics).  The network and
+  // every routing cache revalidate via Topology::version().
+  net::Topology& mutable_topology() { return topo_; }
   MemberDirectory& directory() { return directory_; }
   util::Rng& rng() { return rng_; }
+  const Options& options() const { return options_; }
 
   const std::vector<net::NodeId>& member_nodes() const {
     return member_nodes_;
@@ -44,6 +48,23 @@ class SimSession {
 
   SrmAgent& agent_at(net::NodeId node);
   SrmAgent& agent(std::size_t index) { return *agents_.at(index); }
+  bool has_member(net::NodeId node) const {
+    return index_of_.count(node) != 0;
+  }
+
+  // --- membership dynamics (fault injection / churn) -----------------------
+
+  // Starts a new member at `node` (Source-ID = node id, as in the
+  // constructor).  The agent inherits the session's config, group and
+  // tracer.  Throws std::logic_error if the node already hosts a member.
+  SrmAgent& add_member(net::NodeId node);
+
+  // Stops and destroys the member at `node`.  Graceful departure sends one
+  // final session message first (a leaving member saying goodbye); a crash
+  // (graceful=false) is silent.  Either way the agent leaves the group,
+  // cancels its timers, detaches from the network and unbinds from the
+  // directory before destruction.  Throws if the node hosts no member.
+  void remove_member(net::NodeId node, bool graceful = true);
 
   // Applies fn to every agent.
   template <typename Fn>
@@ -57,6 +78,7 @@ class SimSession {
   // are per-session, never shared across ReplicationRunner workers, which
   // is what keeps traces bit-identical across --threads values.
   void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
     queue_.set_tracer(tracer);
     network_.set_tracer(tracer);
     for (auto& a : agents_) a->set_tracer(tracer);
@@ -68,9 +90,11 @@ class SimSession {
   net::MulticastNetwork network_;
   MemberDirectory directory_;
   util::Rng rng_;
+  Options options_;
   std::vector<net::NodeId> member_nodes_;
   std::vector<std::unique_ptr<SrmAgent>> agents_;
   std::unordered_map<net::NodeId, std::size_t> index_of_;
+  trace::Tracer* tracer_ = &trace::Tracer::null();
 };
 
 }  // namespace srm::harness

@@ -63,4 +63,48 @@ bool CompositeDrop::should_drop(const Packet& packet, const HopContext& hop) {
   return drop;
 }
 
+GilbertElliottDrop::GilbertElliottDrop(Params params, util::Rng rng,
+                                       Predicate match)
+    : params_(params), rng_(std::move(rng)), match_(std::move(match)) {
+  const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit(params_.p_good_bad) || !in_unit(params_.p_bad_good) ||
+      !in_unit(params_.loss_good) || !in_unit(params_.loss_bad)) {
+    throw std::invalid_argument(
+        "GilbertElliottDrop: probability outside [0,1]");
+  }
+}
+
+void GilbertElliottDrop::restrict_to(NodeId from, NodeId to) {
+  restricted_ = true;
+  from_ = from;
+  to_ = to;
+}
+
+bool GilbertElliottDrop::should_drop(const Packet& packet,
+                                     const HopContext& hop) {
+  if (restricted_ && (hop.from != from_ || hop.to != to_)) return false;
+  if (match_ && !match_(packet)) return false;
+  // Loss draw first (for the state we are in), then the transition draw.
+  const bool drop = rng_.chance(bad_ ? params_.loss_bad : params_.loss_good);
+  const bool flip = rng_.chance(bad_ ? params_.p_bad_good : params_.p_good_bad);
+  if (flip) bad_ = !bad_;
+  if (drop) ++drops_;
+  return drop;
+}
+
+void CompositeDropPolicy::add(std::shared_ptr<DropPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("CompositeDropPolicy::add: null policy");
+  }
+  policies_.push_back(std::move(policy));
+}
+
+bool CompositeDropPolicy::should_drop(const Packet& packet,
+                                      const HopContext& hop) {
+  for (const auto& p : policies_) {
+    if (p->should_drop(packet, hop)) return true;
+  }
+  return false;
+}
+
 }  // namespace srm::net

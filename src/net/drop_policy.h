@@ -95,4 +95,62 @@ class CompositeDrop final : public DropPolicy {
   std::vector<std::shared_ptr<DropPolicy>> policies_;
 };
 
+// Stateful bursty loss: the Gilbert-Elliott two-state Markov model.  The
+// channel alternates between a "good" state (loss probability loss_good,
+// usually 0) and a "bad" state (loss probability loss_bad, usually 1);
+// per consulted hop it first draws the loss decision for the current state,
+// then draws the state transition.  Exactly two RNG draws happen on every
+// consulted hop regardless of outcome, so drop decisions never perturb the
+// stream consumed by later hops (determinism across config tweaks).
+class GilbertElliottDrop final : public DropPolicy {
+ public:
+  using Predicate = std::function<bool(const Packet&)>;
+
+  struct Params {
+    double p_good_bad = 0.05;  // P(good -> bad) per consulted hop
+    double p_bad_good = 0.25;  // P(bad -> good) per consulted hop
+    double loss_good = 0.0;    // loss probability while in the good state
+    double loss_bad = 1.0;     // loss probability while in the bad state
+
+    friend bool operator==(const Params&, const Params&) = default;
+  };
+
+  GilbertElliottDrop(Params params, util::Rng rng, Predicate match = nullptr);
+
+  // Restricts loss to a single directed link (state still advances only on
+  // hops over that link).
+  void restrict_to(NodeId from, NodeId to);
+
+  bool should_drop(const Packet& packet, const HopContext& hop) override;
+
+  bool in_bad_state() const { return bad_; }
+  std::size_t drops_so_far() const { return drops_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  Predicate match_;
+  bool restricted_ = false;
+  NodeId from_ = kInvalidNode;
+  NodeId to_ = kInvalidNode;
+  bool bad_ = false;  // start in the good state
+  std::size_t drops_ = 0;
+};
+
+// First-match composition: policies are consulted in add() order and the
+// first one that drops short-circuits the rest.  Use this when a scripted
+// one-shot drop should not also advance (or be masked by) a background
+// stochastic policy; contrast CompositeDrop, which feeds every hop to every
+// policy.
+class CompositeDropPolicy final : public DropPolicy {
+ public:
+  void add(std::shared_ptr<DropPolicy> policy);
+  bool should_drop(const Packet& packet, const HopContext& hop) override;
+
+  std::size_t size() const { return policies_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<DropPolicy>> policies_;
+};
+
 }  // namespace srm::net

@@ -79,10 +79,14 @@ const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
   const std::uint64_t key =
       (static_cast<std::uint64_t>(root) << 32) | static_cast<std::uint64_t>(group);
   PrunedTree& entry = pruned_cache_[key];
-  if (entry.membership_version == membership_version_) return entry;
+  if (entry.membership_version == membership_version_ &&
+      entry.topology_version == topo_->version()) {
+    return entry;
+  }
 
   const Spt& t = routing_.spt(root);
   entry.membership_version = membership_version_;
+  entry.topology_version = topo_->version();
   entry.steps.clear();
   entry.edges.clear();
 
@@ -194,8 +198,11 @@ bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
               static_cast<std::uint64_t>(ttl_at_from));
     return false;
   }
-  if (drop_policy_->should_drop(packet,
-                                HopContext{edge.link, from, edge.peer})) {
+  const HopContext hop{edge.link, from, edge.peer};
+  // Primary policy first; the fault slot is only consulted when the primary
+  // passes, so a scripted round drop does not also advance burst-loss state.
+  if (drop_policy_->should_drop(packet, hop) ||
+      (fault_drop_policy_ && fault_drop_policy_->should_drop(packet, hop))) {
     ++stats_.drops;
     trace_hop(trace::EventType::kNetDrop, edge.link);
     return false;
@@ -223,7 +230,7 @@ void MulticastNetwork::schedule_delivery(
   pd.info.path_delay = delay;
   pd.info.hops = hops_taken;
   pd.info.remaining_ttl = packet->ttl - hops_taken;
-  pd.sink = sink;
+  pd.dropped = false;
   ++stats_.deliveries;
   // [this, index] fits std::function's inline buffer: no allocation per
   // receiver, and the Packet is shared rather than copied per closure.
@@ -234,9 +241,17 @@ void MulticastNetwork::fire_delivery(std::uint32_t index) {
   PendingDelivery& pd = delivery_pool_[index];
   const std::shared_ptr<const Packet> packet = std::move(pd.packet);
   const DeliveryInfo info = pd.info;
-  PacketSink* const sink = pd.sink;
-  pd.sink = nullptr;
+  const bool dropped = pd.dropped;
   free_deliveries_.push_back(index);  // freed first: the sink may multicast
+  // Re-resolve the sink: the receiver may have detached (member crash or
+  // leave) after this delivery was scheduled.
+  PacketSink* const sink = sinks_[info.receiver];
+  if (dropped) return;
+  if (sink == nullptr) {
+    --stats_.deliveries;
+    ++stats_.in_flight_invalidated;
+    return;
+  }
   if (tracer_->wants(trace::Category::kNet)) {
     trace::Event ev;
     ev.type = trace::EventType::kNetDeliver;
@@ -366,6 +381,15 @@ void MulticastNetwork::fire_chain(std::uint32_t index) {
     chain.items.clear();
     free_chains_.push_back(index);
   }
+  if (item.dropped) return;  // invalidated by a link failure while in flight
+  // Re-resolve the sink at fire time: the receiver may have detached
+  // (member crash or leave) after this chain was built.
+  PacketSink* const sink = sinks_[item.to];
+  if (sink == nullptr) {
+    --stats_.deliveries;
+    ++stats_.in_flight_invalidated;
+    return;
+  }
   DeliveryInfo info;
   info.receiver = item.to;
   info.path_delay = item.delay;
@@ -383,9 +407,42 @@ void MulticastNetwork::fire_chain(std::uint32_t index) {
     ev.x = info.path_delay;
     tracer_->emit(ev);
   }
-  PacketSink* const sink = sinks_[item.to];
   sink->on_receive(*packet, info);
   if (delivery_observer_) delivery_observer_(*packet, info);
+}
+
+bool MulticastNetwork::path_uses_link(NodeId src, NodeId dst, LinkId link) {
+  const Spt& t = routing_.spt(src);
+  for (NodeId v = dst; v != src;) {
+    if (v >= t.parent.size() || t.parent[v] == kInvalidNode) return false;
+    if (t.parent_link[v] == link) return true;
+    v = t.parent[v];
+  }
+  return false;
+}
+
+void MulticastNetwork::invalidate_in_flight(LinkId link) {
+  for (DeliveryChain& chain : chain_pool_) {
+    if (!chain.packet) continue;
+    for (std::uint32_t i = chain.cursor;
+         i < static_cast<std::uint32_t>(chain.items.size()); ++i) {
+      ChainItem& item = chain.items[i];
+      if (item.dropped) continue;
+      if (path_uses_link(chain.packet->source, item.to, link)) {
+        item.dropped = true;
+        --stats_.deliveries;
+        ++stats_.in_flight_invalidated;
+      }
+    }
+  }
+  for (PendingDelivery& pd : delivery_pool_) {
+    if (!pd.packet || pd.dropped) continue;
+    if (path_uses_link(pd.packet->source, pd.info.receiver, link)) {
+      pd.dropped = true;
+      --stats_.deliveries;
+      ++stats_.in_flight_invalidated;
+    }
+  }
 }
 
 void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {

@@ -36,6 +36,8 @@ struct NetworkStats {
   std::uint64_t deliveries = 0;           // packets handed to sinks
   std::uint64_t drops = 0;                // hops suppressed by DropPolicy
   std::uint64_t ttl_prunes = 0;           // hops suppressed by TTL/threshold
+  std::uint64_t in_flight_invalidated = 0;  // deliveries lost to link/member
+                                            // dynamics after being scheduled
 };
 
 class MulticastNetwork {
@@ -57,6 +59,24 @@ class MulticastNetwork {
   // Loss injection; pass nullptr to clear.  Not owned exclusively: callers
   // usually keep a reference to rearm scripted drops between rounds.
   void set_drop_policy(std::shared_ptr<DropPolicy> policy);
+
+  // Second, independent loss slot owned by the fault subsystem (bursty-loss
+  // epochs).  Kept separate from set_drop_policy so experiment harnesses that
+  // install per-round scripted drops do not clobber an active fault policy.
+  // Consulted after the primary policy; pass nullptr to clear.
+  void set_fault_drop_policy(std::shared_ptr<DropPolicy> policy) {
+    fault_drop_policy_ = std::move(policy);
+  }
+  const std::shared_ptr<DropPolicy>& fault_drop_policy() const {
+    return fault_drop_policy_;
+  }
+
+  // Link-failure support.  Packets already in flight were routed over the
+  // old topology; any scheduled delivery whose (old) path crosses `link` is
+  // marked lost and silently skipped when its event fires.  MUST be called
+  // BEFORE Topology::set_link_up(link, false) — it consults the cached
+  // shortest-path trees, which still describe the pre-failure topology.
+  void invalidate_in_flight(LinkId link);
 
   // Sends to all members of packet.group other than the sender itself.
   // packet.source is overwritten with `from`.
@@ -139,6 +159,7 @@ class MulticastNetwork {
   };
   struct PrunedTree {
     std::uint64_t membership_version = 0;
+    std::uint64_t topology_version = 0;
     std::vector<TraceStep> steps;
     std::vector<TraceEdge> edges;
   };
@@ -159,6 +180,9 @@ class MulticastNetwork {
   void fire_chain(std::uint32_t index);
   bool hop_allowed(const Packet& packet, int ttl_at_from,
                    const LinkEnd& edge, NodeId from);
+  // True if the cached SPT path src -> dst traverses `link` (either
+  // direction).  Used only by invalidate_in_flight.
+  bool path_uses_link(NodeId src, NodeId dst, LinkId link);
 
   sim::EventQueue* queue_;
   const Topology* topo_;
@@ -168,6 +192,7 @@ class MulticastNetwork {
   std::uint64_t membership_version_ = 1;
   std::unordered_map<std::uint64_t, PrunedTree> pruned_cache_;
   std::shared_ptr<DropPolicy> drop_policy_;
+  std::shared_ptr<DropPolicy> fault_drop_policy_;
   NetworkStats stats_;
   DeliveryObserver delivery_observer_;
   SendObserver send_observer_;
@@ -180,10 +205,13 @@ class MulticastNetwork {
   // In-flight deliveries.  Entries are referenced from event closures by
   // index, so one multicast copies its Packet exactly once and each
   // per-receiver closure stays within std::function's inline buffer.
+  // The sink is re-resolved at fire time (not captured here): the receiver
+  // may detach between scheduling and delivery (member crash/leave), and a
+  // link failure may mark the entry `dropped`.
   struct PendingDelivery {
     std::shared_ptr<const Packet> packet;
     DeliveryInfo info;
-    PacketSink* sink;
+    bool dropped = false;
   };
   std::vector<PendingDelivery> delivery_pool_;
   std::vector<std::uint32_t> free_deliveries_;
@@ -202,6 +230,7 @@ class MulticastNetwork {
     std::uint64_t seq;  // pre-assigned event-queue tie-break
     NodeId to;
     int hops;
+    bool dropped = false;  // invalidated by a link failure after scheduling
   };
   struct DeliveryChain {
     std::shared_ptr<const Packet> packet;

@@ -15,6 +15,10 @@ const Spt& Routing::spt(NodeId src) {
   if (src >= topo_->node_count()) {
     throw std::out_of_range("Routing::spt: bad source");
   }
+  if (topo_version_ != topo_->version()) {
+    cache_.clear();
+    topo_version_ = topo_->version();
+  }
   if (cache_.size() < topo_->node_count()) {
     cache_.resize(topo_->node_count());
   }

@@ -29,7 +29,9 @@ class Routing {
 
   // Shortest-path tree rooted at src (computed on first use, then cached).
   // Ties are broken deterministically toward the lower node id so repeated
-  // runs are reproducible.
+  // runs are reproducible.  The cache revalidates against the topology's
+  // version stamp, so a topology mutation (link down/up, added link) is
+  // picked up on the next query without an explicit invalidate() call.
   const Spt& spt(NodeId src);
 
   // Path delay / hop count between two nodes (via the SPT of `from`).
@@ -39,7 +41,8 @@ class Routing {
   // Ordered node path from `from` to `to` (inclusive of both endpoints).
   std::vector<NodeId> path(NodeId from, NodeId to);
 
-  // Drops all cached trees (topology changed).
+  // Drops all cached trees immediately.  Rarely needed: the version-stamp
+  // check in spt() already catches every Topology mutation lazily.
   void invalidate();
 
   const Topology& topology() const { return *topo_; }
@@ -52,6 +55,9 @@ class Routing {
   // hole (not yet computed).  Node ids are dense [0, node_count), so a flat
   // vector beats hashing on the per-delivery distance lookups.
   std::vector<Spt> cache_;
+  // Topology::version() the cache was built against; a mismatch in spt()
+  // drops every entry (distances/hop counts may all have changed).
+  std::uint64_t topo_version_ = 0;
 };
 
 }  // namespace srm::net

@@ -10,6 +10,7 @@ Topology::Topology(std::size_t n) : adjacency_(n), regions_(n, 0) {}
 NodeId Topology::add_node() {
   adjacency_.emplace_back();
   regions_.push_back(0);
+  ++version_;
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -30,10 +31,33 @@ LinkId Topology::add_link(NodeId a, NodeId b, double delay, int threshold) {
     }
   }
   const auto id = static_cast<LinkId>(links_.size());
-  links_.push_back(Link{a, b, delay, threshold});
+  links_.push_back(Link{a, b, delay, threshold, /*up=*/true});
   adjacency_[a].push_back(LinkEnd{b, id, delay, threshold});
   adjacency_[b].push_back(LinkEnd{a, id, delay, threshold});
+  ++version_;
   return id;
+}
+
+void Topology::rebuild_adjacency(NodeId n) {
+  adjacency_[n].clear();
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    const Link& l = links_[id];
+    if (!l.up) continue;
+    if (l.a == n) {
+      adjacency_[n].push_back(LinkEnd{l.b, id, l.delay, l.threshold});
+    } else if (l.b == n) {
+      adjacency_[n].push_back(LinkEnd{l.a, id, l.delay, l.threshold});
+    }
+  }
+}
+
+void Topology::set_link_up(LinkId id, bool up) {
+  Link& l = links_.at(id);
+  if (l.up == up) return;
+  l.up = up;
+  rebuild_adjacency(l.a);
+  rebuild_adjacency(l.b);
+  ++version_;
 }
 
 LinkId Topology::link_between(NodeId a, NodeId b) const {

@@ -3,6 +3,11 @@
 // Links have a propagation delay (the paper normalizes this to one "unit"
 // per link in most scenarios) and an Mbone-style TTL threshold (default 1).
 // Nodes may be assigned an administrative region for admin-scoped multicast.
+//
+// Topologies are mutable at runtime: links can be taken down and brought
+// back up (fault injection; see src/fault).  Every structural mutation bumps
+// version(), which the routing layer and the network's pruned-tree cache use
+// to revalidate instead of assuming immutability.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@ struct Link {
   NodeId b;
   double delay;
   int threshold;
+  bool up = true;  // down links carry no traffic and leave adjacency
 };
 
 class Topology {
@@ -48,8 +54,21 @@ class Topology {
     return adjacency_.at(n);
   }
 
-  // Finds the link connecting a and b; throws if absent.
+  // Finds the link connecting a and b; throws if absent.  Only up links are
+  // visible (a downed link "does not exist" for forwarding purposes).
   LinkId link_between(NodeId a, NodeId b) const;
+
+  // Link dynamics (fault injection).  Taking a link down removes it from
+  // both endpoints' adjacency (and thus from routing and delivery); bringing
+  // it back up restores it in link-id order, so a down/up cycle reproduces
+  // the original adjacency exactly.  No-op if already in that state.
+  void set_link_up(LinkId id, bool up);
+  bool link_up(LinkId id) const { return links_.at(id).up; }
+
+  // Bumped on every structural mutation (add_node, add_link, set_link_up).
+  // Consumers caching anything derived from the graph (shortest-path trees,
+  // pruned delivery trees, oracle distances) revalidate against this.
+  std::uint64_t version() const { return version_; }
 
   // Administrative scoping: nodes default to region 0.
   void set_admin_region(NodeId n, std::uint32_t region);
@@ -62,9 +81,12 @@ class Topology {
   std::size_t degree(NodeId n) const { return adjacency_.at(n).size(); }
 
  private:
+  void rebuild_adjacency(NodeId n);
+
   std::vector<std::vector<LinkEnd>> adjacency_;
   std::vector<Link> links_;
   std::vector<std::uint32_t> regions_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace srm::net

@@ -219,10 +219,13 @@ double SrmAgent::distance_to(SourceId peer) const {
       return config_.default_distance;  // member never bound
     }
     // Dense per-peer cache: resolved distances are stable until membership
-    // changes (bind/unbind bumps the directory version).
-    if (oracle_dist_version_ != directory_->version()) {
+    // changes (bind/unbind bumps the directory version) or the topology
+    // mutates (link dynamics bump the topology version).
+    if (oracle_dist_version_ != directory_->version() ||
+        oracle_topo_version_ != network_->topology().version()) {
       oracle_dist_.clear();
       oracle_dist_version_ = directory_->version();
+      oracle_topo_version_ = network_->topology().version();
     }
     if (idx >= oracle_dist_.size()) {
       oracle_dist_.resize(directory_->index().size(), -1.0);
@@ -233,6 +236,8 @@ double SrmAgent::distance_to(SourceId peer) const {
         cached = network_->distance(node_, directory_->node_of(peer));
       } catch (const std::out_of_range&) {
         cached = config_.default_distance;  // member no longer bound
+      } catch (const std::runtime_error&) {
+        cached = config_.default_distance;  // unreachable (partitioned away)
       }
     }
     return cached;

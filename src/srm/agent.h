@@ -420,9 +420,11 @@ class SrmAgent : public net::PacketSink {
   SessionMessage::StateReport state_scratch_;
   SessionMessage::Echoes echo_scratch_;
   // Oracle-mode distances by dense member index (< 0 = not yet resolved);
-  // rebuilt whenever directory membership changes.
+  // rebuilt whenever directory membership changes or the topology mutates
+  // (link failures change the ground-truth distances).
   mutable std::vector<double> oracle_dist_;
   mutable std::uint64_t oracle_dist_version_ = 0;
+  mutable std::uint64_t oracle_topo_version_ = 0;
 
   struct QueuedSend {
     net::Packet packet;

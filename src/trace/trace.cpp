@@ -69,6 +69,28 @@ const std::vector<EventSpec>& specs() {
        nullptr, nullptr, nullptr, "d1", "d2"},
       {EventType::kSrmScopeEscalate, Category::kSrm, "scope_escalate", "src",
        "page_c", "page_n", "seq", "ttl", nullptr, nullptr},
+
+      {EventType::kFaultLinkDown, Category::kFault, "link_down", "link",
+       "end_a", "end_b", nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultLinkUp, Category::kFault, "link_up", "link", "end_a",
+       "end_b", nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultPartition, Category::kFault, "partition", "ordinal",
+       "cut_links", nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultHeal, Category::kFault, "heal", "ordinal",
+       "restored_links", nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultJoin, Category::kFault, "member_join", nullptr,
+       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultLeave, Category::kFault, "member_leave", nullptr,
+       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultCrash, Category::kFault, "member_crash", nullptr,
+       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultRejoin, Category::kFault, "member_rejoin", nullptr,
+       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+      {EventType::kFaultBurstOn, Category::kFault, "burst_on",
+       "loss_good_ppm", "loss_bad_ppm", nullptr, nullptr, nullptr, "p_gb",
+       "p_bg"},
+      {EventType::kFaultBurstOff, Category::kFault, "burst_off", nullptr,
+       nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
   };
   return kSpecs;
 }
@@ -101,6 +123,8 @@ const char* category_name(Category c) {
       return "net";
     case Category::kSrm:
       return "srm";
+    case Category::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -154,6 +178,8 @@ std::uint32_t parse_mask(const std::string& text) {
       mask |= static_cast<std::uint32_t>(Category::kNet);
     } else if (part == "srm") {
       mask |= static_cast<std::uint32_t>(Category::kSrm);
+    } else if (part == "fault") {
+      mask |= static_cast<std::uint32_t>(Category::kFault);
     } else if (part == "all") {
       mask |= kMaskAll;
     } else if (!part.empty()) {
@@ -169,7 +195,8 @@ std::uint32_t parse_mask(const std::string& text) {
 std::string format_mask(std::uint32_t mask) {
   if ((mask & kMaskAll) == 0) return "none";
   std::string out;
-  for (Category c : {Category::kSim, Category::kNet, Category::kSrm}) {
+  for (Category c :
+       {Category::kSim, Category::kNet, Category::kSrm, Category::kFault}) {
     if ((mask & static_cast<std::uint32_t>(c)) == 0) continue;
     if (!out.empty()) out += ',';
     out += category_name(c);
@@ -216,6 +243,13 @@ std::string JsonlSink::to_line(const Event& event) {
   add_num(spec.y, event.y);
   line += '}';
   return line;
+}
+
+void TeeSink::add(Sink* sink) {
+  if (sink == nullptr) {
+    throw std::invalid_argument("trace::TeeSink::add: null sink");
+  }
+  sinks_.push_back(sink);
 }
 
 void JsonlSink::on_event(const Event& event) {

@@ -48,13 +48,15 @@ enum class Category : std::uint32_t {
   kSim = 1u << 0,
   kNet = 1u << 1,
   kSrm = 1u << 2,
+  kFault = 1u << 3,  // injected network dynamics (src/fault)
 };
 
 inline constexpr std::uint32_t kMaskNone = 0;
 inline constexpr std::uint32_t kMaskAll =
     static_cast<std::uint32_t>(Category::kSim) |
     static_cast<std::uint32_t>(Category::kNet) |
-    static_cast<std::uint32_t>(Category::kSrm);
+    static_cast<std::uint32_t>(Category::kSrm) |
+    static_cast<std::uint32_t>(Category::kFault);
 
 // Parses a mask string: comma/plus-separated category names ("srm,net"),
 // "all", "none", or a raw decimal number.  Throws std::invalid_argument on
@@ -92,6 +94,18 @@ enum class EventType : std::uint16_t {
   kSrmAdaptReq = 33,        // x=c1, y=c2 (after an update)
   kSrmAdaptRep = 34,        // x=d1, y=d2
   kSrmScopeEscalate = 35,   // e=ttl used after escalation
+  // --- fault (injected network dynamics); actor is the affected node for
+  // membership events, 0 otherwise ---
+  kFaultLinkDown = 40,   // a=link, b=end_a, c=end_b
+  kFaultLinkUp = 41,     // a=link, b=end_a, c=end_b
+  kFaultPartition = 42,  // a=partition ordinal, b=links cut
+  kFaultHeal = 43,       // a=partition ordinal, b=links restored
+  kFaultJoin = 44,       // actor=node
+  kFaultLeave = 45,      // actor=node
+  kFaultCrash = 46,      // actor=node
+  kFaultRejoin = 47,     // actor=node
+  kFaultBurstOn = 48,    // a=loss_good_ppm, b=loss_bad_ppm, x=p_gb, y=p_bg
+  kFaultBurstOff = 49,   // (no extra fields)
 };
 
 // A traced event: timestamp, actor, and five integer + two double slots
@@ -154,6 +168,23 @@ class VectorSink final : public Sink {
 
  private:
   std::vector<Event> events_;
+};
+
+// Fans one event stream out to several sinks (e.g. a JSONL file plus an
+// in-memory capture feeding the recovery-invariant checker).  Added sinks
+// are not owned and must outlive the tee.
+class TeeSink final : public Sink {
+ public:
+  void add(Sink* sink);
+  void on_event(const Event& event) override {
+    for (Sink* s : sinks_) s->on_event(event);
+  }
+  void flush() override {
+    for (Sink* s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
 };
 
 // JSON Lines backend: one object per line, e.g.

@@ -1,0 +1,102 @@
+// Same FaultPlan + seed must give bit-identical traces: across repeated
+// runs in one process, and across ReplicationRunner thread counts (trial
+// construction is serial; only execution is fanned out).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "harness/fault_scenarios.h"
+#include "harness/loss_round.h"
+#include "harness/replication.h"
+#include "harness/scenario.h"
+#include "harness/session.h"
+#include "topo/builders.h"
+#include "trace/trace.h"
+
+namespace srm {
+namespace {
+
+constexpr std::uint32_t kMask =
+    static_cast<std::uint32_t>(trace::Category::kSrm) |
+    static_cast<std::uint32_t>(trace::Category::kFault);
+
+// One full fault scenario: random tree, partition/heal + crash/rejoin churn,
+// four loss-recovery rounds.  Returns every captured trace event.
+std::vector<trace::Event> run_scenario(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::Topology topo = topo::make_random_tree(40, rng);
+  std::vector<net::NodeId> members;
+  for (net::NodeId n = 0; n < 40; n += 3) members.push_back(n);
+  const net::NodeId source = members[rng.index(members.size())];
+
+  fault::FaultPlan plan =
+      harness::partition_heal_plan(topo, source, 20.0, 60.0, rng);
+  plan.merge(harness::churn_plan(members, source, /*cycles=*/3,
+                                 /*t_begin=*/10.0, /*t_end=*/150.0,
+                                 /*downtime=*/30.0, /*crash=*/true, rng));
+
+  SrmConfig cfg;
+  cfg.backoff_factor = 3.0;
+  cfg.adaptive.enabled = true;
+  harness::SimSession session(std::move(topo), members, {cfg, seed, 1});
+  trace::VectorSink capture;
+  trace::Tracer tracer;
+  tracer.set_sink(&capture);
+  tracer.set_mask(kMask);
+  session.set_tracer(&tracer);
+
+  fault::FaultInjector injector(session.queue(), session.mutable_topology(),
+                                session.network(), std::move(plan),
+                                session.rng().fork());
+  injector.set_membership_hooks(harness::membership_hooks(session));
+  injector.set_tracer(&tracer);
+  injector.arm();
+
+  harness::RoundSpec spec;
+  spec.source_node = source;
+  spec.congested = harness::choose_congested_link(
+      session.network().routing(), source, members, rng);
+  spec.page = PageId{static_cast<SourceId>(source), 0};
+  for (int r = 0; r < 4; ++r) {
+    try {
+      harness::run_loss_round(session, spec, r * 2);
+    } catch (const std::exception&) {
+      // A fault made the round unrunnable — still part of the scenario.
+    }
+  }
+  return capture.events();
+}
+
+TEST(FaultDeterminismTest, SameSeedSameTrace) {
+  const auto first = run_scenario(1234);
+  const auto second = run_scenario(1234);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsDiverge) {
+  EXPECT_NE(run_scenario(1), run_scenario(2));
+}
+
+TEST(FaultDeterminismTest, TraceIdenticalAcrossThreadCounts) {
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+  const auto run_batch = [&](unsigned threads) {
+    const harness::ReplicationRunner runner(threads);
+    return runner.map<std::vector<trace::Event>>(
+        seeds.size(),
+        [&seeds](std::size_t i) { return run_scenario(seeds[i]); });
+  };
+  const auto serial = run_batch(1);
+  const auto parallel = run_batch(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace srm

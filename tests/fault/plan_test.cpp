@@ -1,0 +1,137 @@
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace srm::fault {
+namespace {
+
+TEST(FaultPlanTest, BuildersRecordEvents) {
+  FaultPlan plan;
+  plan.link_down(10.0, 3)
+      .link_up(20.0, 3)
+      .partition(30.0, {5, 6, 7})
+      .heal(45.0, 0)
+      .leave(12.0, 4)
+      .crash(13.0, 9)
+      .join(25.0, 11)
+      .rejoin(40.0, 9)
+      .burst_on(50.0, {})
+      .burst_off(80.0);
+  EXPECT_EQ(plan.size(), 10u);
+  EXPECT_EQ(plan.partition_count(), 1u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, SortedOrdersByTimeStably) {
+  FaultPlan plan;
+  plan.link_down(20.0, 1);
+  plan.link_down(10.0, 2);
+  plan.link_up(10.0, 3);  // same time as above: insertion order preserved
+  const auto sorted = plan.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].link, 2u);
+  EXPECT_EQ(sorted[1].link, 3u);
+  EXPECT_EQ(sorted[2].link, 1u);
+}
+
+TEST(FaultPlanTest, PartitionOrdinalsSurviveSorting) {
+  FaultPlan plan;
+  plan.partition(50.0, {1});  // ordinal 0, but fires second
+  plan.partition(5.0, {2});   // ordinal 1, fires first
+  plan.heal(60.0, 0);
+  const auto sorted = plan.sorted();
+  EXPECT_EQ(sorted[0].partition_ordinal, 1u);
+  EXPECT_EQ(sorted[1].partition_ordinal, 0u);
+}
+
+TEST(FaultPlanTest, ValidatesOnPush) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.link_down(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.partition(1.0, {}), std::invalid_argument);
+  // heal must refer to a partition already in the plan.
+  EXPECT_THROW(plan.heal(2.0, 0), std::invalid_argument);
+  plan.partition(1.0, {3});
+  EXPECT_NO_THROW(plan.heal(2.0, 0));
+  EXPECT_THROW(plan.heal(3.0, 1), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, TextRoundTrip) {
+  FaultPlan plan;
+  plan.link_down(10.5, 3);
+  plan.partition(30.0, {5, 6, 7});
+  plan.heal(45.0, 0);
+  plan.crash(13.0, 9);
+  net::GilbertElliottDrop::Params burst;
+  burst.p_good_bad = 0.05;
+  burst.p_bad_good = 0.25;
+  burst.loss_bad = 0.9;
+  plan.burst_on(50.0, burst);
+  plan.burst_off(80.0);
+
+  const FaultPlan parsed = FaultPlan::parse_text(plan.to_text());
+  EXPECT_EQ(parsed.events(), plan.events());
+  EXPECT_EQ(parsed.partition_count(), plan.partition_count());
+}
+
+TEST(FaultPlanTest, ParseAcceptsCommentsAndBlankLines) {
+  const FaultPlan plan = FaultPlan::parse_text(
+      "# a comment\n"
+      "\n"
+      "link_down 10 3   # trailing comment\n"
+      "  link_up 20 3\n");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(plan.events()[1].kind, FaultEvent::Kind::kLinkUp);
+}
+
+TEST(FaultPlanTest, ParseRejectsBadInputWithLineNumbers) {
+  const auto expect_bad = [](const std::string& text,
+                             const std::string& fragment) {
+    try {
+      FaultPlan::parse_text(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_bad("frobnicate 1 2\n", "unknown keyword");
+  expect_bad("link_down\n", "missing event time");
+  expect_bad("link_down -1 0\n", "negative event time");
+  expect_bad("link_down 1 0 junk\n", "trailing input");
+  expect_bad("partition 1\n", "partition needs");
+  expect_bad("heal 1 0\n", "not yet in the plan");
+  expect_bad("burst_on 1 0.5\n", "burst_on needs");
+  expect_bad("burst_on 1 1.5 0.5 0.5\n", "outside [0,1]");
+  expect_bad("\nlink_down\n", "line 2");
+}
+
+TEST(FaultPlanTest, MergeRenumbersPartitions) {
+  FaultPlan a;
+  a.partition(10.0, {1});
+  a.heal(20.0, 0);
+  FaultPlan b;
+  b.partition(30.0, {2});
+  b.heal(40.0, 0);
+  a.merge(b);
+  EXPECT_EQ(a.partition_count(), 2u);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.events()[2].partition_ordinal, 1u);  // b's partition renumbered
+  EXPECT_EQ(a.events()[3].partition_ordinal, 1u);  // ... and its heal follows
+  EXPECT_NO_THROW(a.heal(50.0, 1));
+}
+
+TEST(FaultPlanTest, SelfMergeDuplicatesEvents) {
+  FaultPlan plan;
+  plan.partition(10.0, {1});
+  plan.heal(20.0, 0);
+  plan.merge(plan);
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.partition_count(), 2u);
+  EXPECT_EQ(plan.events()[3].partition_ordinal, 1u);
+}
+
+}  // namespace
+}  // namespace srm::fault

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "srm/messages.h"
+
 namespace srm::net {
 namespace {
 
@@ -136,6 +138,187 @@ TEST(CompositeDropTest, AllPoliciesConsulted) {
 
 TEST(CompositeDropTest, RejectsNull) {
   CompositeDrop c;
+  EXPECT_THROW(c.add(nullptr), std::invalid_argument);
+}
+
+// ---- request/repair loss (Sec. VII-A: requests and repairs themselves can
+// be lost; the timers must re-expire and retry) ------------------------------
+
+Packet request_packet() {
+  Packet p;
+  p.payload = std::make_shared<RequestMessage>(
+      DataName{1, PageId{1, 0}, 0}, /*requestor=*/2, /*dist=*/1.0,
+      /*initial_ttl=*/kMaxTtl);
+  return p;
+}
+
+Packet repair_packet() {
+  Packet p;
+  p.payload = std::make_shared<RepairMessage>(
+      DataName{1, PageId{1, 0}, 0}, std::make_shared<Payload>(Payload{0xAB}),
+      /*responder=*/3, /*first_requestor=*/2, /*dist=*/1.0,
+      /*initial_ttl=*/kMaxTtl);
+  return p;
+}
+
+TEST(ScriptedLinkDropTest, DropsRequestsNotRepairs) {
+  ScriptedLinkDrop d(0, 1, [](const Packet& p) {
+    return dynamic_cast<const RequestMessage*>(p.payload.get()) != nullptr;
+  });
+  EXPECT_FALSE(d.should_drop(repair_packet(), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.should_drop(request_packet(), HopContext{0, 0, 1}));
+}
+
+TEST(ScriptedLinkDropTest, RepairDropExhaustsMaxDrops) {
+  ScriptedLinkDrop d(
+      0, 1,
+      [](const Packet& p) {
+        return dynamic_cast<const RepairMessage*>(p.payload.get()) != nullptr;
+      },
+      /*max_drops=*/2);
+  EXPECT_FALSE(d.should_drop(request_packet(), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.should_drop(repair_packet(), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.should_drop(repair_packet(), HopContext{0, 0, 1}));
+  // Budget exhausted: the third repair gets through.
+  EXPECT_FALSE(d.should_drop(repair_packet(), HopContext{0, 0, 1}));
+  EXPECT_EQ(d.drops_so_far(), 2u);
+}
+
+// ---- Gilbert-Elliott bursty loss -------------------------------------------
+
+TEST(GilbertElliottDropTest, GoodStateWithZeroLossNeverDrops) {
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.0;  // never leaves the good state
+  p.loss_good = 0.0;
+  GilbertElliottDrop d(p, util::Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  }
+  EXPECT_FALSE(d.in_bad_state());
+}
+
+TEST(GilbertElliottDropTest, EntersBadStateAndDropsEverything) {
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 1.0;  // flip to bad on the first consulted hop
+  p.p_bad_good = 0.0;  // and stay there
+  p.loss_bad = 1.0;
+  GilbertElliottDrop d(p, util::Rng(1));
+  // First hop is drawn in the good state (loss_good = 0), then flips.
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_TRUE(d.in_bad_state());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  }
+}
+
+TEST(GilbertElliottDropTest, StationaryLossRateMatchesTheory) {
+  // Stationary P(bad) = p_gb / (p_gb + p_bg) = 0.1 / 0.4 = 0.25; with
+  // loss_bad = 1 and loss_good = 0 the long-run drop rate equals it.
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.1;
+  p.p_bad_good = 0.3;
+  GilbertElliottDrop d(p, util::Rng(42));
+  const int hops = 20000;
+  int drops = 0;
+  for (int i = 0; i < hops; ++i) {
+    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / hops, 0.25, 0.03);
+}
+
+TEST(GilbertElliottDropTest, MeanBurstLengthMatchesTheory) {
+  // Loss bursts are the bad-state sojourns: geometric with mean 1/p_bg.
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.05;
+  p.p_bad_good = 0.3;
+  GilbertElliottDrop d(p, util::Rng(7));
+  int bursts = 0;
+  int burst_hops = 0;
+  int run = 0;
+  for (int i = 0; i < 200000; ++i) {
+    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) {
+      ++run;
+    } else if (run > 0) {
+      ++bursts;
+      burst_hops += run;
+      run = 0;
+    }
+  }
+  ASSERT_GT(bursts, 100);
+  EXPECT_NEAR(static_cast<double>(burst_hops) / bursts, 1.0 / 0.3, 0.3);
+}
+
+TEST(GilbertElliottDropTest, RestrictToLeavesOtherLinksUntouched) {
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 1.0;
+  p.loss_bad = 1.0;
+  GilbertElliottDrop d(p, util::Rng(1));
+  d.restrict_to(3, 4);
+  // Hops elsewhere neither drop nor advance the channel state.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  }
+  EXPECT_FALSE(d.in_bad_state());
+  EXPECT_EQ(d.drops_so_far(), 0u);
+}
+
+TEST(GilbertElliottDropTest, ExactlyTwoDrawsPerConsultedHop) {
+  // Two policies with identical params and seeds stay in lock-step even
+  // when only one of them sees packets that match its predicate — the
+  // loss and transition draws happen on every consulted hop.
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.2;
+  p.p_bad_good = 0.2;
+  GilbertElliottDrop a(p, util::Rng(9));
+  GilbertElliottDrop b(p, util::Rng(9));
+  for (int i = 0; i < 500; ++i) {
+    a.should_drop(packet_with_tag(0), HopContext{0, 0, 1});
+    b.should_drop(packet_with_tag(0), HopContext{0, 0, 1});
+    EXPECT_EQ(a.in_bad_state(), b.in_bad_state());
+  }
+  EXPECT_EQ(a.drops_so_far(), b.drops_so_far());
+}
+
+TEST(GilbertElliottDropTest, RejectsBadParams) {
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 1.5;
+  EXPECT_THROW(GilbertElliottDrop(p, util::Rng(1)), std::invalid_argument);
+  p = {};
+  p.loss_bad = -0.1;
+  EXPECT_THROW(GilbertElliottDrop(p, util::Rng(1)), std::invalid_argument);
+}
+
+// ---- first-match composition ------------------------------------------------
+
+TEST(CompositeDropPolicyTest, FirstMatchShortCircuits) {
+  CompositeDropPolicy c;
+  auto first = std::make_shared<ScriptedLinkDrop>(
+      0, 1, [](const Packet&) { return true; });
+  auto second = std::make_shared<ScriptedLinkDrop>(
+      0, 1, [](const Packet&) { return true; });
+  c.add(first);
+  c.add(second);
+  EXPECT_TRUE(c.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  // Unlike CompositeDrop, the second policy was never consulted.
+  EXPECT_EQ(first->drops_so_far(), 1u);
+  EXPECT_EQ(second->drops_so_far(), 0u);
+}
+
+TEST(CompositeDropPolicyTest, FallsThroughWhenEarlierPoliciesPass) {
+  CompositeDropPolicy c;
+  c.add(std::make_shared<ScriptedLinkDrop>(5, 6,
+                                           [](const Packet&) { return true; }));
+  auto second = std::make_shared<ScriptedLinkDrop>(
+      0, 1, [](const Packet&) { return true; });
+  c.add(second);
+  EXPECT_TRUE(c.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  EXPECT_EQ(second->drops_so_far(), 1u);
+}
+
+TEST(CompositeDropPolicyTest, EmptyNeverDropsAndRejectsNull) {
+  CompositeDropPolicy c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
   EXPECT_THROW(c.add(nullptr), std::invalid_argument);
 }
 

@@ -113,6 +113,36 @@ TEST(RoutingTest, CacheInvalidation) {
   EXPECT_DOUBLE_EQ(r.distance(0, 2), 1.0);
 }
 
+TEST(RoutingTest, VersionStampInvalidatesAutomatically) {
+  // No explicit invalidate(): the cache revalidates against
+  // Topology::version() on every spt() call.
+  Topology t(3);
+  t.add_link(0, 1, 5.0);
+  const LinkId shortcut = t.add_link(1, 2, 5.0);
+  Routing r(t);
+  EXPECT_DOUBLE_EQ(r.distance(0, 2), 10.0);
+  t.add_link(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(r.distance(0, 2), 1.0);
+  t.set_link_up(shortcut, false);
+  EXPECT_DOUBLE_EQ(r.distance(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(r.distance(1, 2), 6.0);  // rerouted around the down link
+  t.set_link_up(shortcut, true);
+  EXPECT_DOUBLE_EQ(r.distance(1, 2), 5.0);
+}
+
+TEST(RoutingTest, DownLinkPartitionsUnreachable) {
+  Topology t(3);
+  t.add_link(0, 1);
+  const LinkId cut = t.add_link(1, 2);
+  Routing r(t);
+  EXPECT_EQ(r.hop_count(0, 2), 2);
+  t.set_link_up(cut, false);
+  EXPECT_THROW(r.distance(0, 2), std::runtime_error);
+  EXPECT_THROW(r.path(0, 2), std::runtime_error);
+  t.set_link_up(cut, true);
+  EXPECT_EQ(r.hop_count(0, 2), 2);
+}
+
 TEST(RoutingTest, TriangleInequalityHolds) {
   util::Rng rng(23);
   Topology t = topo::make_random_graph(25, 40, rng);

@@ -92,11 +92,13 @@ TEST(TraceMaskTest, ParseAndFormat) {
   EXPECT_EQ(parse_mask("net+srm"),
             static_cast<std::uint32_t>(Category::kNet) |
                 static_cast<std::uint32_t>(Category::kSrm));
-  EXPECT_EQ(parse_mask("7"), kMaskAll);
+  EXPECT_EQ(parse_mask("fault"),
+            static_cast<std::uint32_t>(Category::kFault));
+  EXPECT_EQ(parse_mask("15"), kMaskAll);
   EXPECT_THROW(parse_mask("bogus"), std::invalid_argument);
 
   EXPECT_EQ(format_mask(kMaskNone), "none");
-  EXPECT_EQ(format_mask(kMaskAll), "sim,net,srm");
+  EXPECT_EQ(format_mask(kMaskAll), "sim,net,srm,fault");
   EXPECT_EQ(format_mask(parse_mask("srm")), "srm");
   EXPECT_EQ(parse_mask(format_mask(parse_mask("sim,srm"))),
             parse_mask("sim,srm"));
