@@ -60,6 +60,9 @@ Flags (defaults in brackets):
                   (format: ARCHITECTURE.md)                 [off]
   --fault-deadline  recovery deadline in seconds for the
                   fault invariant checker                   [100]
+  --routing-verify  cross-check every journal-repaired
+                  routing tree against a fresh Dijkstra
+                  (same switch as SRM_ROUTING_VERIFY=1)     [false]
   --help          print this table and exit
 )";
 
@@ -152,6 +155,7 @@ int main(int argc, char** argv) {
   }
   const std::string faults_path = flags.get_string("faults", "");
   const double fault_deadline = flags.get_double("fault-deadline", 100.0);
+  const bool routing_verify = flags.get_bool("routing-verify", false);
 
   fault::FaultPlan fault_plan;
   if (!faults_path.empty()) {
@@ -195,6 +199,7 @@ int main(int argc, char** argv) {
 
   harness::SimSession session(std::move(built.topo), members,
                               {cfg, seed, /*group=*/1});
+  if (routing_verify) session.network().routing().set_verify(true);
   harness::ConformanceChecker checker(session.network(), session.directory(),
                                       cfg.holddown_multiplier);
 

@@ -10,11 +10,12 @@ and fails when any metric regresses by more than the tolerance (default
 change, not measurement noise.
 
 Direction is inferred from the metric name:
-  * ``*_per_second``                      -- higher is better
-  * ``*_ns_per_*``, ``*_us``, ``*wall_seconds`` -- lower is better
+  * ``*_per_second``           -- higher is better
+  * ``*_ns_per_*``, ``*_us``   -- lower is better
 Bookkeeping keys (threads, replications, rounds) are skipped, as are
-metrics present on only one side (new benchmarks, retired benchmarks, or a
-filtered smoke run that captured a subset).
+``*wall_seconds`` keys (machine-dependent wall clock, recorded for
+information only) and metrics present on only one side (new benchmarks,
+retired benchmarks, or a filtered smoke run that captured a subset).
 
 Usage:
   scripts/check_bench.py --baseline BENCH_kernel.json --current /tmp/k.json
@@ -34,11 +35,11 @@ SKIP_KEYS = {"threads", "replications", "rounds"}
 
 def direction(key):
     """'up' if larger values are better, 'down' if smaller, None to skip."""
-    if key in SKIP_KEYS:
-        return None
+    if key in SKIP_KEYS or key.endswith("wall_seconds"):
+        return None  # wall clock is machine-dependent: informational only
     if key.endswith("_per_second"):
         return "up"
-    if "_ns_per_" in key or key.endswith("_us") or key.endswith("wall_seconds"):
+    if "_ns_per_" in key or key.endswith("_us"):
         return "down"
     return None
 

@@ -26,9 +26,38 @@ void FaultInjector::arm() {
   if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
   armed_ = true;
   const double now = queue_->now();
-  for (const FaultEvent& event : plan_.sorted()) {
-    queue_->schedule_at(std::max(event.at, now),
-                        [this, event] { apply(event); });
+  // Events that fire at the same instant are scheduled as one group, so a
+  // partition plus same-time link churn becomes one topology edit group
+  // (see apply_cut_run).  The plan was scheduled in sorted order before
+  // this change, so grouping preserves the relative order of fault events
+  // against every other same-time simulation event.
+  const std::vector<FaultEvent> sorted = plan_.sorted();
+  for (std::size_t i = 0; i < sorted.size();) {
+    const double at = std::max(sorted[i].at, now);
+    std::vector<FaultEvent> group;
+    for (; i < sorted.size() && std::max(sorted[i].at, now) == at; ++i) {
+      group.push_back(sorted[i]);
+    }
+    queue_->schedule_at(
+        at, [this, group = std::move(group)] { apply_group(group); });
+  }
+}
+
+void FaultInjector::apply_group(const std::vector<FaultEvent>& events) {
+  const auto cuts_links = [](const FaultEvent& e) {
+    return e.kind == FaultEvent::Kind::kLinkDown ||
+           e.kind == FaultEvent::Kind::kPartition;
+  };
+  for (std::size_t i = 0; i < events.size();) {
+    if (!cuts_links(events[i])) {
+      apply(events[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < events.size() && cuts_links(events[j])) ++j;
+    apply_cut_run(events, i, j);
+    i = j;
   }
 }
 
@@ -60,14 +89,61 @@ void FaultInjector::close_disruption() {
   if (--active_disruptions_ == 0) windows_.back().end = queue_->now();
 }
 
-void FaultInjector::take_link_down(net::LinkId link) {
-  if (!topo_->link_up(link)) return;  // already down
-  // Order matters: in-flight deliveries were routed over the pre-failure
-  // trees, so they must be invalidated while those trees are still cached.
-  network_->invalidate_in_flight(link);
+void FaultInjector::down_link(net::LinkId link) {
   topo_->set_link_up(link, false);
   ++stats_.links_taken_down;
   open_disruption();
+}
+
+void FaultInjector::apply_cut_run(const std::vector<FaultEvent>& events,
+                                  std::size_t begin, std::size_t end) {
+  // Phase 1: resolve each event's link list against the pre-run topology
+  // (treating links earlier events in the run will cut as already down) and
+  // invalidate every affected in-flight delivery while the cached trees
+  // still describe the pre-failure routes.
+  std::vector<std::vector<net::LinkId>> downs(end - begin);
+  std::vector<char> pending(topo_->link_count(), 0);
+  for (std::size_t k = begin; k < end; ++k) {
+    const FaultEvent& event = events[k];
+    std::vector<net::LinkId>& list = downs[k - begin];
+    if (event.kind == FaultEvent::Kind::kLinkDown) {
+      if (topo_->link_up(event.link) && !pending[event.link]) {
+        list.push_back(event.link);
+      }
+    } else {  // kPartition
+      // The cut: every up link with exactly one endpoint in the island,
+      // collected in link-id order (determinism).
+      std::vector<bool> in_island(topo_->node_count(), false);
+      for (net::NodeId n : event.island) in_island.at(n) = true;
+      const auto& links = topo_->links();
+      for (net::LinkId id = 0; id < links.size(); ++id) {
+        if (!links[id].up || pending[id]) continue;
+        if (in_island[links[id].a] != in_island[links[id].b]) {
+          list.push_back(id);
+        }
+      }
+      cuts_.at(event.partition_ordinal) = list;
+    }
+    for (net::LinkId id : list) {
+      network_->invalidate_in_flight(id);
+      pending[id] = 1;
+    }
+  }
+
+  // Phase 2: mutate and narrate in event order.  All set_link_up calls land
+  // back to back, so the routing layer sees one journal delta batch.
+  for (std::size_t k = begin; k < end; ++k) {
+    const FaultEvent& event = events[k];
+    for (net::LinkId id : downs[k - begin]) down_link(id);
+    if (event.kind == FaultEvent::Kind::kLinkDown) {
+      const net::Link& l = topo_->link(event.link);
+      emit(trace::EventType::kFaultLinkDown, 0, event.link, l.a, l.b);
+    } else {
+      ++stats_.partitions;
+      emit(trace::EventType::kFaultPartition, 0, event.partition_ordinal,
+           downs[k - begin].size());
+    }
+  }
 }
 
 void FaultInjector::bring_link_up(net::LinkId link) {
@@ -79,36 +155,16 @@ void FaultInjector::bring_link_up(net::LinkId link) {
 
 void FaultInjector::apply(const FaultEvent& event) {
   switch (event.kind) {
-    case FaultEvent::Kind::kLinkDown: {
-      const net::Link& l = topo_->link(event.link);
-      take_link_down(event.link);
-      emit(trace::EventType::kFaultLinkDown, 0, event.link, l.a, l.b);
+    case FaultEvent::Kind::kLinkDown:
+    case FaultEvent::Kind::kPartition:
+      // Link-cutting events always route through apply_cut_run so their
+      // in-flight invalidation stays ahead of every topology mutation.
+      apply_cut_run(std::vector<FaultEvent>{event}, 0, 1);
       break;
-    }
     case FaultEvent::Kind::kLinkUp: {
       const net::Link& l = topo_->link(event.link);
       bring_link_up(event.link);
       emit(trace::EventType::kFaultLinkUp, 0, event.link, l.a, l.b);
-      break;
-    }
-    case FaultEvent::Kind::kPartition: {
-      // The cut: every up link with exactly one endpoint in the island,
-      // collected in link-id order (determinism).
-      std::vector<bool> in_island(topo_->node_count(), false);
-      for (net::NodeId n : event.island) in_island.at(n) = true;
-      std::vector<net::LinkId>& cut = cuts_.at(event.partition_ordinal);
-      cut.clear();
-      const auto& links = topo_->links();
-      for (net::LinkId id = 0; id < links.size(); ++id) {
-        if (!links[id].up) continue;
-        if (in_island[links[id].a] != in_island[links[id].b]) {
-          cut.push_back(id);
-        }
-      }
-      for (net::LinkId id : cut) take_link_down(id);
-      ++stats_.partitions;
-      emit(trace::EventType::kFaultPartition, 0, event.partition_ordinal,
-           cut.size());
       break;
     }
     case FaultEvent::Kind::kHeal: {

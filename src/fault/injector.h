@@ -6,12 +6,25 @@
 //
 //   link down:  invalidate in-flight deliveries crossing the link (they were
 //               routed over the pre-failure trees), then take the link down;
-//               routing, pruned delivery trees and oracle distances
-//               revalidate lazily via Topology::version().
+//               routing repairs its cached trees from the topology's edit
+//               journal (or recomputes) lazily, and the pruned delivery
+//               trees and oracle distances revalidate via
+//               Topology::version().
 //   link up:    bring the link back; caches revalidate the same way.
 //   partition:  take down every up link with exactly one endpoint in the
 //               island, remembering the cut so heal() can restore exactly
 //               those links (links already down are not part of the cut).
+//
+// Plan events that fire at the same instant are applied as one group, and
+// within a group every contiguous run of link-cutting events (link downs
+// and partitions) is applied in two phases: first the in-flight deliveries
+// of *every* cut link are invalidated against the pre-failure trees, then
+// the links are taken down back to back.  That keeps the whole run one
+// topology edit group — a partition cutting dozens of links costs the
+// routing layer a single repair pass on the next query instead of one
+// rebuild per link, and in-flight invalidation consults the trees the
+// packets were actually routed over rather than trees partially rebuilt
+// mid-cut.
 //   heal:       bring the remembered cut back up.
 //   join/leave/crash/rejoin:  delegated to MembershipHooks — the injector
 //               deliberately knows nothing about agents; the harness wires
@@ -96,8 +109,16 @@ class FaultInjector {
   const std::vector<Window>& disruption_windows() const { return windows_; }
 
  private:
+  void apply_group(const std::vector<FaultEvent>& events);
   void apply(const FaultEvent& event);
-  void take_link_down(net::LinkId link);
+  // Two-phase application of events[begin, end): all link-cutting events,
+  // invalidated together against the pre-failure trees before any link goes
+  // down (one topology edit group per run).
+  void apply_cut_run(const std::vector<FaultEvent>& events, std::size_t begin,
+                     std::size_t end);
+  // Takes one link down (stats + disruption window); callers are
+  // responsible for having invalidated in-flight deliveries first.
+  void down_link(net::LinkId link);
   void bring_link_up(net::LinkId link);
   void open_disruption();
   void close_disruption();

@@ -1,5 +1,6 @@
 #include "harness/conformance.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace srm::harness {
@@ -100,7 +101,10 @@ void ConformanceChecker::on_send(net::NodeId from, const net::Packet& packet) {
         double d = 1.0;
         try {
           const net::NodeId src_node = directory_->node_of(name.source);
-          d = from == src_node ? 0.0 : network_->distance(from, src_node);
+          d = from == src_node ? 0.0
+                               : network_->try_distance(from, src_node);
+          // Source partitioned away: no meaningful hold-down bound either.
+          if (std::isinf(d)) d = 0.0;
         } catch (const std::out_of_range&) {
           d = 0.0;  // source departed; no meaningful hold-down bound
         }

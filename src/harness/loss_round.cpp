@@ -100,18 +100,10 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
   result.link_transmissions = net.stats().link_transmissions - links_before;
 
   // A member can be unreachable at collection time when a fault plan left
-  // the topology partitioned; treat its distance as infinite rather than
-  // letting the oracle throw.
-  const auto dist_or_inf = [&net, &spec](net::NodeId m) {
-    try {
-      return net.distance(spec.source_node, m);
-    } catch (const std::runtime_error&) {
-      return std::numeric_limits<double>::infinity();
-    }
-  };
+  // the topology partitioned; try_distance reads that as infinity.
   double min_dist = std::numeric_limits<double>::infinity();
   for (net::NodeId m : affected) {
-    min_dist = std::min(min_dist, dist_or_inf(m));
+    min_dist = std::min(min_dist, net.try_distance(spec.source_node, m));
   }
 
   double max_abs_delay = -1.0;
@@ -138,7 +130,7 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
     }
     const auto& req_delays = metrics.request_delay_rtt.values();
     if (req_delays.size() > snap.request_delays &&
-        dist_or_inf(m) <= min_dist) {
+        net.try_distance(spec.source_node, m) <= min_dist) {
       closest_req_delay = std::min(closest_req_delay, req_delays.back());
     }
   }

@@ -87,9 +87,15 @@ class MulticastNetwork {
   void unicast(NodeId from, NodeId to, Packet packet);
 
   // One-way path delay / hop count oracle (ground truth; SRM agents normally
-  // use session-message estimates instead).
+  // use session-message estimates instead).  The try_ variants return
+  // infinity / -1 instead of throwing when `to` is unreachable — the normal
+  // case for callers racing with fault-injected partitions.
   double distance(NodeId from, NodeId to) { return routing_.distance(from, to); }
   int hops(NodeId from, NodeId to) { return routing_.hop_count(from, to); }
+  double try_distance(NodeId from, NodeId to) {
+    return routing_.try_distance(from, to);
+  }
+  int try_hops(NodeId from, NodeId to) { return routing_.try_hop_count(from, to); }
 
   Routing& routing() { return routing_; }
   const Topology& topology() const { return *topo_; }

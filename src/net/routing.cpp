@@ -1,30 +1,74 @@
 #include "net/routing.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
-#include <queue>
+#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace srm::net {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sorted-vector child-list maintenance.  compute() emits children in
+// ascending node-id order, so repairs keep every list sorted and the two
+// construction paths agree byte for byte.
+void erase_child(std::vector<NodeId>& children, NodeId child) {
+  const auto it = std::lower_bound(children.begin(), children.end(), child);
+  if (it != children.end() && *it == child) children.erase(it);
+}
+
+void insert_child(std::vector<NodeId>& children, NodeId child) {
+  const auto it = std::lower_bound(children.begin(), children.end(), child);
+  children.insert(it, child);
+}
+
 }  // namespace
+
+Routing::Routing(const Topology& topo) : topo_(&topo) {
+  const char* env = std::getenv("SRM_ROUTING_VERIFY");
+  verify_ = env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
 
 const Spt& Routing::spt(NodeId src) {
   if (src >= topo_->node_count()) {
     throw std::out_of_range("Routing::spt: bad source");
   }
-  if (topo_version_ != topo_->version()) {
-    cache_.clear();
-    topo_version_ = topo_->version();
-  }
   if (cache_.size() < topo_->node_count()) {
     cache_.resize(topo_->node_count());
   }
-  Spt& entry = cache_[src];
-  if (entry.root != src) entry = compute(src);
-  return entry;
+  Entry& entry = cache_[src];
+  if (entry.tree.root == src) {
+    if (entry.version == topo_->version()) return entry.tree;
+    if (try_repair(entry)) return entry.tree;
+  }
+  entry.tree = compute(src);
+  entry.version = topo_->version();
+  ++stats_.full_builds;
+  return entry.tree;
+}
+
+bool Routing::try_repair(Entry& entry) {
+  if (!repair_enabled_) return false;
+  if (!topo_->journal_since(entry.version, edit_scratch_)) {
+    ++stats_.fallback_truncated;
+    return false;
+  }
+  if (edit_scratch_.size() > repair_threshold_) {
+    ++stats_.fallback_threshold;
+    return false;
+  }
+  repair(entry.tree, edit_scratch_);
+  entry.version = topo_->version();
+  ++stats_.repairs;
+  if (verify_) {
+    verify_repair(entry.tree);
+    ++stats_.verified;
+  }
+  return true;
 }
 
 Spt Routing::compute(NodeId src) const {
@@ -80,6 +124,179 @@ Spt Routing::compute(NodeId src) const {
   return t;
 }
 
+// Dynamic SPT repair, Ramalingam–Reps style, specialized to our canonical
+// tree.  The canonical labels are a pure function of the current graph:
+//
+//   dist[v]   = shortest delay root -> v
+//   hops[v]   = fewest hops among shortest-delay paths
+//   parent[v] = lowest-id neighbor u with dist[u] + w(u,v) == dist[v] and
+//               hops[u] + 1 == hops[v]
+//
+// so it suffices to reach that fixpoint from the stale tree:
+//
+//   1. Detach the subtrees hanging off every removed tree link (labels reset
+//      to unreachable) — labels of the remaining nodes are still canonical,
+//      because every path the stale tree recorded for them is intact and
+//      edge removal can only shrink the path set.
+//   2. Seed a (dist, hops, node)-keyed frontier: each orphan's best label
+//      over its surviving neighbors, plus both endpoints of every inserted
+//      link.
+//   3. Run Dijkstra over the frontier with the same improvement predicate
+//      as compute().  Labels only ever move toward the canonical fixpoint
+//      (every candidate is dist[u] + w for a label dist[u] >= canonical),
+//      and every affected node's qualifying predecessors settle strictly
+//      before it does, so the minimum-id parent tie-break lands exactly as
+//      a full Dijkstra's would.
+//
+// Distances stay bit-identical to compute() because both paths evaluate the
+// same sum dist[parent] + delay along the same (unique) canonical parent
+// chain — there is no reassociation to accumulate rounding differences.
+void Routing::repair(Spt& t, const std::vector<TopoEdit>& edits) {
+  const std::size_t n = topo_->node_count();
+  if (t.dist.size() < n) {
+    t.dist.resize(n, kInf);
+    t.hops.resize(n, -1);
+    t.parent.resize(n, kInvalidNode);
+    t.parent_link.resize(n, 0);
+    t.children.resize(n);
+  }
+  if (orphan_flag_.size() < n) {
+    orphan_flag_.resize(n, 0);
+    touched_flag_.resize(n, 0);
+  }
+  orphans_.clear();
+  touched_.clear();
+
+  // Phase 1: detach every subtree whose parent link went down.  Children
+  // lists are walked before any label is reset, then cleared; the subtree
+  // root is removed from its (necessarily surviving) parent's list.
+  for (const TopoEdit& e : edits) {
+    if (e.kind != TopoEdit::Kind::kLinkDown) continue;
+    const Link& l = topo_->link(e.link);
+    NodeId cut_child = kInvalidNode;
+    if (t.parent[l.b] == l.a && t.parent_link[l.b] == e.link) {
+      cut_child = l.b;
+    } else if (t.parent[l.a] == l.b && t.parent_link[l.a] == e.link) {
+      cut_child = l.a;
+    }
+    if (cut_child == kInvalidNode) continue;  // not a tree edge (any more)
+    erase_child(t.children[t.parent[cut_child]], cut_child);
+    stack_scratch_.assign(1, cut_child);
+    while (!stack_scratch_.empty()) {
+      const NodeId v = stack_scratch_.back();
+      stack_scratch_.pop_back();
+      orphan_flag_[v] = 1;
+      orphans_.push_back(v);
+      for (NodeId c : t.children[v]) stack_scratch_.push_back(c);
+      t.children[v].clear();
+      t.dist[v] = kInf;
+      t.hops[v] = -1;
+      t.parent[v] = kInvalidNode;
+      t.parent_link[v] = 0;
+    }
+  }
+
+  // compute()'s improvement predicate; returns whether the (dist, hops) key
+  // changed (a parent-only improvement needs no propagation: neighbors'
+  // labels do not depend on this node's parent).
+  const auto improve = [&](NodeId v, double nd, int nh, NodeId p,
+                           LinkId link) -> bool {
+    const bool better =
+        nd < t.dist[v] ||
+        (nd == t.dist[v] &&
+         (nh < t.hops[v] || (nh == t.hops[v] && p < t.parent[v])));
+    if (!better) return false;
+    if (!touched_flag_[v] && !orphan_flag_[v]) {
+      touched_flag_[v] = 1;
+      touched_.emplace_back(v, t.parent[v]);
+    }
+    const bool key_changed = nd != t.dist[v] || nh != t.hops[v];
+    t.dist[v] = nd;
+    t.hops[v] = nh;
+    t.parent[v] = p;
+    t.parent_link[v] = link;
+    return key_changed;
+  };
+
+  // Phase 2: seed the frontier.  Orphans scan their surviving neighbors
+  // (applying the predicate across all of them lands the lowest-id parent);
+  // inserted links seed both endpoints.  A link inserted but re-removed
+  // within the same batch is skipped — only the current graph matters.
+  using Key = std::tuple<double, int, NodeId>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> pq;
+  for (const NodeId v : orphans_) {
+    for (const LinkEnd& e : topo_->neighbors(v)) {
+      if (t.dist[e.peer] == kInf) continue;
+      improve(v, t.dist[e.peer] + e.delay, t.hops[e.peer] + 1, e.peer, e.link);
+    }
+    if (t.dist[v] != kInf) pq.emplace(t.dist[v], t.hops[v], v);
+  }
+  for (const TopoEdit& e : edits) {
+    if (e.kind != TopoEdit::Kind::kLinkUp &&
+        e.kind != TopoEdit::Kind::kLinkAdded) {
+      continue;
+    }
+    const Link& l = topo_->link(e.link);
+    if (!l.up) continue;
+    if (t.dist[l.a] != kInf &&
+        improve(l.b, t.dist[l.a] + l.delay, t.hops[l.a] + 1, l.a, e.link)) {
+      pq.emplace(t.dist[l.b], t.hops[l.b], l.b);
+    }
+    if (t.dist[l.b] != kInf &&
+        improve(l.a, t.dist[l.b] + l.delay, t.hops[l.b] + 1, l.b, e.link)) {
+      pq.emplace(t.dist[l.a], t.hops[l.a], l.a);
+    }
+  }
+
+  // Phase 3: Dijkstra over the affected region.  Stale queue entries (label
+  // improved after the push) are skipped by key comparison.
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (d != t.dist[u] || h != t.hops[u]) continue;
+    for (const LinkEnd& e : topo_->neighbors(u)) {
+      if (improve(e.peer, d + e.delay, h + 1, u, e.link)) {
+        pq.emplace(t.dist[e.peer], t.hops[e.peer], e.peer);
+      }
+    }
+  }
+
+  // Phase 4: patch children lists.  Sorted insertion keeps every list in
+  // ascending node-id order, matching compute().
+  for (const auto& [v, old_parent] : touched_) {
+    touched_flag_[v] = 0;
+    if (t.parent[v] == old_parent) continue;
+    if (old_parent != kInvalidNode) erase_child(t.children[old_parent], v);
+    insert_child(t.children[t.parent[v]], v);
+  }
+  for (const NodeId v : orphans_) {
+    orphan_flag_[v] = 0;
+    if (t.parent[v] != kInvalidNode) insert_child(t.children[t.parent[v]], v);
+  }
+  stats_.repaired_nodes += orphans_.size() + touched_.size();
+}
+
+void Routing::verify_repair(const Spt& repaired) const {
+  const Spt fresh = compute(repaired.root);
+  const auto fail = [&](const char* field, NodeId node) {
+    std::ostringstream os;
+    os << "Routing: repaired SPT diverges from fresh Dijkstra (root "
+       << repaired.root << ", field " << field << ", node " << node << ")";
+    throw std::logic_error(os.str());
+  };
+  const std::size_t n = fresh.dist.size();
+  if (repaired.dist.size() != n) fail("size", 0);
+  for (NodeId v = 0; v < n; ++v) {
+    // Exact comparisons on purpose: the guarantee is bit-identical trees,
+    // not approximately-equal ones (infinities compare equal under ==).
+    if (repaired.dist[v] != fresh.dist[v]) fail("dist", v);
+    if (repaired.hops[v] != fresh.hops[v]) fail("hops", v);
+    if (repaired.parent[v] != fresh.parent[v]) fail("parent", v);
+    if (repaired.parent_link[v] != fresh.parent_link[v]) fail("parent_link", v);
+    if (repaired.children[v] != fresh.children[v]) fail("children", v);
+  }
+}
+
 double Routing::distance(NodeId from, NodeId to) {
   const Spt& t = spt(from);
   if (to >= t.dist.size() || t.dist[to] == kInf) {
@@ -96,6 +313,16 @@ int Routing::hop_count(NodeId from, NodeId to) {
   return t.hops[to];
 }
 
+double Routing::try_distance(NodeId from, NodeId to) {
+  const Spt& t = spt(from);
+  return to < t.dist.size() ? t.dist[to] : kInf;
+}
+
+int Routing::try_hop_count(NodeId from, NodeId to) {
+  const Spt& t = spt(from);
+  return to < t.hops.size() ? t.hops[to] : -1;
+}
+
 std::vector<NodeId> Routing::path(NodeId from, NodeId to) {
   const Spt& t = spt(from);
   if (t.parent.at(to) == kInvalidNode) {
@@ -107,7 +334,5 @@ std::vector<NodeId> Routing::path(NodeId from, NodeId to) {
   std::reverse(rev.begin(), rev.end());
   return rev;
 }
-
-void Routing::invalidate() { cache_.clear(); }
 
 }  // namespace srm::net

@@ -233,11 +233,12 @@ double SrmAgent::distance_to(SourceId peer) const {
     double& cached = oracle_dist_[idx];
     if (cached < 0.0) {
       try {
-        cached = network_->distance(node_, directory_->node_of(peer));
+        // try_distance: a peer partitioned away reads as infinitely far,
+        // which is routine under fault injection, not an error.
+        const double d = network_->try_distance(node_, directory_->node_of(peer));
+        cached = std::isinf(d) ? config_.default_distance : d;
       } catch (const std::out_of_range&) {
         cached = config_.default_distance;  // member no longer bound
-      } catch (const std::runtime_error&) {
-        cached = config_.default_distance;  // unreachable (partitioned away)
       }
     }
     return cached;

@@ -292,6 +292,48 @@ TEST_F(InjectorTest, EmitsFaultTraceEvents) {
   EXPECT_GE(capture.events().size(), want.size());
 }
 
+TEST_F(InjectorTest, SameTimeCutEventsFormOneEditGroup) {
+  build_chain(8);
+  // Warm every source's tree so the post-fault queries below are repairs.
+  for (net::NodeId v = 0; v < 8; ++v) net_->routing().spt(v);
+  const auto builds_before = net_->routing().stats().full_builds;
+
+  FaultPlan plan;
+  plan.link_down(10.0, 6);       // severs node 7
+  plan.partition(10.0, {0, 1});  // same instant: cuts link 1 (nodes 1-2)
+  auto injector = make_injector(std::move(plan));
+  injector.arm();
+  queue_.run();
+
+  EXPECT_FALSE(topo_->link_up(6));
+  EXPECT_FALSE(topo_->link_up(1));
+  EXPECT_EQ(injector.stats().links_taken_down, 2u);
+
+  // Both cuts land in one journal delta batch: bringing a cached tree up to
+  // date costs one repair pass, not one rebuild per downed link.
+  net_->routing().spt(0);
+  EXPECT_EQ(net_->routing().stats().repairs, 1u);
+  EXPECT_EQ(net_->routing().stats().full_builds, builds_before);
+}
+
+TEST_F(InjectorTest, PartitionInvalidatesInFlightAgainstPreFailureTrees) {
+  build_chain(6);
+  FaultPlan plan;
+  plan.partition(1.5, {3, 4, 5});  // cut = link 2, while t=0 packet flies
+  auto injector = make_injector(std::move(plan));
+  injector.arm();
+
+  net_->multicast(0, make_packet(1));  // deliveries due at t = 1..5
+  queue_.run();
+
+  EXPECT_EQ(sinks_[1]->received, 1);
+  EXPECT_EQ(sinks_[2]->received, 1);
+  EXPECT_EQ(sinks_[3]->received, 0);  // in flight across the cut
+  EXPECT_EQ(sinks_[4]->received, 0);
+  EXPECT_EQ(sinks_[5]->received, 0);
+  EXPECT_EQ(net_->stats().in_flight_invalidated, 3u);
+}
+
 TEST_F(InjectorTest, RejectsMismatchedTopology) {
   build_chain(3);
   net::Topology other = topo::make_chain(3);

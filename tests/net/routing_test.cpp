@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "topo/builders.h"
 #include "util/rng.h"
 
@@ -102,15 +104,31 @@ TEST(RoutingTest, DeterministicAcrossCalls) {
   }
 }
 
-TEST(RoutingTest, CacheInvalidation) {
+TEST(RoutingTest, JournalRepairPicksUpAddedLink) {
   Topology t(3);
   t.add_link(0, 1, 5.0);
   t.add_link(1, 2, 5.0);
   Routing r(t);
+  r.set_verify(true);  // cross-check the repair against a fresh Dijkstra
   EXPECT_DOUBLE_EQ(r.distance(0, 2), 10.0);
   t.add_link(0, 2, 1.0);
-  r.invalidate();
   EXPECT_DOUBLE_EQ(r.distance(0, 2), 1.0);
+  EXPECT_EQ(r.stats().repairs, 1u);
+  EXPECT_EQ(r.stats().verified, 1u);
+}
+
+TEST(RoutingTest, TryDistanceReadsUnreachableAsInfinity) {
+  Topology t(3);
+  t.add_link(0, 1);
+  const LinkId cut = t.add_link(1, 2);
+  Routing r(t);
+  EXPECT_DOUBLE_EQ(r.try_distance(0, 2), 2.0);
+  EXPECT_EQ(r.try_hop_count(0, 2), 2);
+  t.set_link_up(cut, false);
+  EXPECT_TRUE(std::isinf(r.try_distance(0, 2)));
+  EXPECT_EQ(r.try_hop_count(0, 2), -1);
+  t.set_link_up(cut, true);
+  EXPECT_DOUBLE_EQ(r.try_distance(0, 2), 2.0);
 }
 
 TEST(RoutingTest, VersionStampInvalidatesAutomatically) {
