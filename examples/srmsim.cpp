@@ -22,6 +22,7 @@
 #include "harness/conformance.h"
 #include "harness/fault_scenarios.h"
 #include "harness/loss_round.h"
+#include "harness/replication.h"
 #include "harness/scenario.h"
 #include "harness/session.h"
 #include "topo/builders.h"
@@ -63,6 +64,16 @@ Flags (defaults in brackets):
   --routing-verify  cross-check every journal-repaired
                   routing tree against a fresh Dijkstra
                   (same switch as SRM_ROUTING_VERIFY=1)     [false]
+  --kernel-threads  parallel (PDES) kernel workers; 0 runs
+                  the sequential kernel (capped at the
+                  hardware concurrency)                     [0]
+  --kernel-regions  region count for the parallel kernel
+                  (0 = derive from the node count; keep
+                  fixed when comparing thread counts)       [0]
+  --pdes-verify   run the scenario on the sequential AND
+                  parallel kernels and compare per-round
+                  stats; exits non-zero on any mismatch
+                  (incompatible with --faults)              [false]
   --help          print this table and exit
 )";
 
@@ -156,6 +167,18 @@ int main(int argc, char** argv) {
   const std::string faults_path = flags.get_string("faults", "");
   const double fault_deadline = flags.get_double("fault-deadline", 100.0);
   const bool routing_verify = flags.get_bool("routing-verify", false);
+  const long long kernel_threads_flag = flags.get_int("kernel-threads", 0);
+  // srmsim runs one session, so the whole hardware budget belongs to the
+  // kernel side (replication = 1); plan_thread_budget caps oversubscription.
+  const unsigned kernel_threads =
+      harness::plan_thread_budget(
+          /*requested_replication=*/1,
+          kernel_threads_flag > 0 ? static_cast<unsigned>(kernel_threads_flag)
+                                  : 0u)
+          .kernel_threads;
+  const auto kernel_regions =
+      static_cast<std::uint32_t>(flags.get_int("kernel-regions", 0));
+  const bool pdes_verify = flags.get_bool("pdes-verify", false);
 
   fault::FaultPlan fault_plan;
   if (!faults_path.empty()) {
@@ -197,11 +220,130 @@ int main(int argc, char** argv) {
             << " nodes, " << member_count << " members, seed " << seed
             << (cfg.adaptive.enabled ? ", adaptive timers" : "") << "\n";
 
-  harness::SimSession session(std::move(built.topo), members,
-                              {cfg, seed, /*group=*/1});
-  if (routing_verify) session.network().routing().set_verify(true);
-  harness::ConformanceChecker checker(session.network(), session.directory(),
-                                      cfg.holddown_multiplier);
+  if (pdes_verify) {
+    // Run the identical scenario on both kernels and diff everything the
+    // harness measures.  The parallel kernel's claim is event-order
+    // equivalence, so the comparison is exact — including the double-valued
+    // delay statistics, which must match bit for bit.
+    if (!fault_plan.empty()) {
+      std::cerr << "srmsim: --pdes-verify is incompatible with --faults\n";
+      return 1;
+    }
+    struct ModeResult {
+      std::vector<harness::RoundResult> rounds;
+      net::NetworkStats stats;
+    };
+    const auto run_mode = [&](unsigned kthreads) {
+      harness::SimSession::Options opts{cfg, seed, /*group=*/1};
+      opts.kernel_threads = kthreads;
+      opts.kernel_regions = kernel_regions;
+      harness::SimSession session(net::Topology(built.topo), members, opts);
+      // Same pick seed in both modes -> same source and congested link
+      // (routing depends only on the topology, which is identical).
+      util::Rng pick(seed * 2 + 1);
+      const net::NodeId src = members[pick.index(members.size())];
+      const auto cong = harness::choose_congested_link(
+          session.network().routing(), src, members, pick);
+      harness::RoundSpec rspec;
+      rspec.source_node = src;
+      rspec.congested = cong;
+      rspec.page = PageId{static_cast<SourceId>(src), 0};
+      ModeResult mr;
+      for (int r = 0; r < rounds; ++r) {
+        mr.rounds.push_back(
+            harness::run_loss_round(session, rspec, static_cast<SeqNo>(r * 2)));
+      }
+      mr.stats = session.network_stats();
+      return mr;
+    };
+    const unsigned kt = kernel_threads > 0 ? kernel_threads : 1;
+    const ModeResult seq = run_mode(0);
+    const ModeResult par = run_mode(kt);
+    std::vector<std::string> diffs;
+    for (int r = 0; r < rounds; ++r) {
+      const harness::RoundResult& a = seq.rounds[static_cast<std::size_t>(r)];
+      const harness::RoundResult& b = par.rounds[static_cast<std::size_t>(r)];
+      const auto diff = [&](const char* what, double x, double y) {
+        if (x != y) {
+          std::ostringstream os;
+          os << "round " << r + 1 << " " << what << ": sequential " << x
+             << " vs parallel " << y;
+          diffs.push_back(os.str());
+        }
+      };
+      diff("requests", static_cast<double>(a.requests),
+           static_cast<double>(b.requests));
+      diff("repairs", static_cast<double>(a.repairs),
+           static_cast<double>(b.repairs));
+      diff("affected", static_cast<double>(a.affected),
+           static_cast<double>(b.affected));
+      diff("recovered", static_cast<double>(a.recovered),
+           static_cast<double>(b.recovered));
+      diff("link transmissions", static_cast<double>(a.link_transmissions),
+           static_cast<double>(b.link_transmissions));
+      diff("repair reach", static_cast<double>(a.members_reached_by_repair),
+           static_cast<double>(b.members_reached_by_repair));
+      diff("max delay", a.max_delay_seconds, b.max_delay_seconds);
+      diff("last delay/RTT", a.last_member_delay_rtt, b.last_member_delay_rtt);
+      if (a.request_times != b.request_times) {
+        diffs.push_back("round " + std::to_string(r + 1) +
+                        " request-time vectors differ");
+      }
+      if (a.repair_times != b.repair_times) {
+        diffs.push_back("round " + std::to_string(r + 1) +
+                        " repair-time vectors differ");
+      }
+    }
+    const auto stat_diff = [&](const char* what, std::uint64_t x,
+                               std::uint64_t y) {
+      if (x != y) {
+        std::ostringstream os;
+        os << "network " << what << ": sequential " << x << " vs parallel "
+           << y;
+        diffs.push_back(os.str());
+      }
+    };
+    stat_diff("multicasts", seq.stats.multicasts_sent,
+              par.stats.multicasts_sent);
+    stat_diff("unicasts", seq.stats.unicasts_sent, par.stats.unicasts_sent);
+    stat_diff("link transmissions", seq.stats.link_transmissions,
+              par.stats.link_transmissions);
+    stat_diff("deliveries", seq.stats.deliveries, par.stats.deliveries);
+    stat_diff("drops", seq.stats.drops, par.stats.drops);
+    if (diffs.empty()) {
+      std::cout << "pdes-verify: OK (" << rounds
+                << " rounds bit-identical, sequential vs " << kt
+                << "-thread parallel kernel)\n";
+      return 0;
+    }
+    std::cout << "pdes-verify: MISMATCH (" << diffs.size() << " differences)\n";
+    for (const std::string& d : diffs) std::cout << "  " << d << "\n";
+    return 1;
+  }
+
+  harness::SimSession::Options session_opts{cfg, seed, /*group=*/1};
+  session_opts.kernel_threads = kernel_threads;
+  session_opts.kernel_regions = kernel_regions;
+  harness::SimSession session(std::move(built.topo), members, session_opts);
+  if (session.kernel() != nullptr) {
+    std::cout << "parallel kernel: " << session.region_map().count
+              << " regions, lookahead " << session.region_map().lookahead
+              << ", " << kernel_threads << " worker thread"
+              << (kernel_threads == 1 ? "" : "s") << "\n";
+  }
+  if (routing_verify) {
+    for (std::size_t r = 0; r < session.network_count(); ++r) {
+      session.network(r).routing().set_verify(true);
+    }
+  }
+  // The conformance checker chains one network's observers, which under the
+  // parallel kernel would see only one region's packets; --pdes-verify is
+  // the equivalence check in that mode.
+  std::unique_ptr<harness::ConformanceChecker> checker;
+  if (session.kernel() == nullptr) {
+    checker = std::make_unique<harness::ConformanceChecker>(
+        session.network(), session.directory(), cfg.holddown_multiplier);
+  }
 
   // Structured tracing: one Tracer + file sink for the whole run.  With a
   // fault plan the trace is additionally captured in memory (tee'd if a file
@@ -255,13 +397,17 @@ int main(int argc, char** argv) {
         session.queue(), session.mutable_topology(), session.network(),
         std::move(fault_plan), session.rng().fork());
     injector->set_membership_hooks(harness::membership_hooks(session));
-    injector->set_tracer(&tracer);
+    // Under the parallel kernel the injector's events (global queue) must
+    // emit into the global trace lane so they join the deterministic merge.
+    injector->set_tracer(session.control_tracer());
     injector->arm();
     std::cout << "fault plan: " << faults_path << " ("
               << injector->plan().size() << " events, deadline "
               << fault_deadline << "s)\n";
   }
-  if (verbose) {
+  if (verbose && session.kernel() != nullptr) {
+    std::cout << "(--verbose is sequential-kernel only; ignoring)\n";
+  } else if (verbose) {
     session.network().set_send_observer(
         [&](net::NodeId from, const net::Packet& p) {
           std::cout << "  t=" << session.queue().now() << " node " << from
@@ -313,12 +459,15 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   std::cout << "\nconformance: "
-            << (checker.clean() ? std::string("clean\n") : checker.report());
-  std::cout << "network totals: "
-            << session.network().stats().multicasts_sent << " multicasts, "
-            << session.network().stats().link_transmissions
-            << " link transmissions, " << session.network().stats().drops
-            << " drops\n";
+            << (checker == nullptr ? std::string(
+                                         "skipped (parallel kernel; use "
+                                         "--pdes-verify)\n")
+                : checker->clean() ? std::string("clean\n")
+                                   : checker->report());
+  const net::NetworkStats totals = session.network_stats();
+  std::cout << "network totals: " << totals.multicasts_sent << " multicasts, "
+            << totals.link_transmissions << " link transmissions, "
+            << totals.drops << " drops\n";
 
   // Fold the trace back into per-loss recovery stories and cross-check the
   // reconstruction against the aggregate per-round counters.
@@ -373,5 +522,5 @@ int main(int argc, char** argv) {
               << " departures, " << fs.burst_epochs << " burst epochs\n";
     return report.passed && trace_ok ? 0 : 1;
   }
-  return checker.clean() && trace_ok ? 0 : 1;
+  return (checker == nullptr || checker->clean()) && trace_ok ? 0 : 1;
 }

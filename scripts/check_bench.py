@@ -12,10 +12,16 @@ change, not measurement noise.
 Direction is inferred from the metric name:
   * ``*_per_second``           -- higher is better
   * ``*_ns_per_*``, ``*_us``   -- lower is better
-Bookkeeping keys (threads, replications, rounds) are skipped, as are
-``*wall_seconds`` keys (machine-dependent wall clock, recorded for
+Bookkeeping keys (threads, replications, rounds, regions) are skipped, as
+are ``*wall_seconds`` keys (machine-dependent wall clock, recorded for
 information only) and metrics present on only one side (new benchmarks,
 retired benchmarks, or a filtered smoke run that captured a subset).
+
+Direction is also section-aware: the ``pdes_kernel`` section's throughput
+keys (``*_per_second``, ``speedup*``) depend on the CI runner's core count
+and are skipped, while its deterministic keys (``events_total`` implicitly,
+``*_us`` explicitly) stay gated — the parallel kernel promises event-order
+equivalence, so those must not drift at all.
 
 Usage:
   scripts/check_bench.py --baseline BENCH_kernel.json --current /tmp/k.json
@@ -30,13 +36,21 @@ import json
 import pathlib
 import sys
 
-SKIP_KEYS = {"threads", "replications", "rounds"}
+SKIP_KEYS = {"threads", "replications", "rounds", "regions"}
+
+# Sections whose throughput keys scale with the runner's thread count, not
+# with code quality: only their deterministic (virtual-time) keys are gated.
+THREAD_SCALED_SECTIONS = {"pdes_kernel"}
 
 
-def direction(key):
+def direction(key, section=""):
     """'up' if larger values are better, 'down' if smaller, None to skip."""
     if key in SKIP_KEYS or key.endswith("wall_seconds"):
         return None  # wall clock is machine-dependent: informational only
+    if section in THREAD_SCALED_SECTIONS and (
+        key.endswith("_per_second") or key.startswith("speedup")
+    ):
+        return None  # events/sec at N threads depends on the machine's cores
     if key.endswith("_per_second"):
         return "up"
     if "_ns_per_" in key or key.endswith("_us"):
@@ -60,7 +74,7 @@ def compare(baseline, current, sections, tolerance):
         base_metrics = baseline.get(section, {})
         cur_metrics = current.get(section, {})
         for key in sorted(set(base_metrics) & set(cur_metrics)):
-            sense = direction(key)
+            sense = direction(key, section)
             if sense is None:
                 continue
             base = float(base_metrics[key])

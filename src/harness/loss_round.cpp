@@ -31,30 +31,55 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
 
   // --- instrumentation ------------------------------------------------------
   // Chain onto (and later restore) any observers already installed, e.g. a
-  // ConformanceChecker or a bench's own counters.
+  // ConformanceChecker or a bench's own counters.  Under the parallel kernel
+  // there is one network per region, each observed on its own worker thread,
+  // so every network gets its own recorder (no shared mutable state inside a
+  // window); per-region records are folded after the run.  Timestamps come
+  // from each network's own queue, which reads exactly what the sequential
+  // clock would at that event.
   RoundResult result;
-  std::set<net::NodeId> repair_reach;
-  const sim::Time round_start = queue.now();
-  const net::MulticastNetwork::SendObserver previous_send =
-      net.send_observer();
-  const net::MulticastNetwork::DeliveryObserver previous_delivery =
-      net.delivery_observer();
-  net.set_send_observer([&](net::NodeId from, const net::Packet& p) {
-    if (is_request(p)) {
-      ++result.requests;
-      result.request_times.push_back(queue.now() - round_start);
-    } else if (is_repair(p)) {
-      ++result.repairs;
-      result.repair_times.push_back(queue.now() - round_start);
-      repair_reach.insert(from);
+  const sim::Time round_start = session.now();
+  struct Recorder {
+    std::vector<double> request_times;
+    std::vector<double> repair_times;
+    std::vector<net::NodeId> repair_senders;
+    std::vector<net::NodeId> repair_receivers;
+    net::MulticastNetwork::SendObserver previous_send;
+    net::MulticastNetwork::DeliveryObserver previous_delivery;
+  };
+  std::vector<Recorder> records(session.network_count());
+  for (std::size_t r = 0; r < session.network_count(); ++r) {
+    net::MulticastNetwork& n = session.network(r);
+    Recorder& rec = records[r];
+    rec.previous_send = n.send_observer();
+    rec.previous_delivery = n.delivery_observer();
+    n.set_send_observer([rec = &rec, n = &n, round_start](
+                            net::NodeId from, const net::Packet& p) {
+      if (is_request(p)) {
+        rec->request_times.push_back(n->queue().now() - round_start);
+      } else if (is_repair(p)) {
+        rec->repair_times.push_back(n->queue().now() - round_start);
+        rec->repair_senders.push_back(from);
+      }
+      if (rec->previous_send) rec->previous_send(from, p);
+    });
+    n.set_delivery_observer(
+        [rec = &rec](const net::Packet& p, const net::DeliveryInfo& info) {
+          if (is_repair(p)) rec->repair_receivers.push_back(info.receiver);
+          if (rec->previous_delivery) rec->previous_delivery(p, info);
+        });
+  }
+  // The recorders are stack-local: if the round throws (a fault plan ate the
+  // drop or the source), the observers must come off before unwinding.
+  const auto restore_observers = [&] {
+    net.set_drop_policy(nullptr);
+    for (std::size_t r = 0; r < session.network_count(); ++r) {
+      session.network(r).set_send_observer(
+          std::move(records[r].previous_send));
+      session.network(r).set_delivery_observer(
+          std::move(records[r].previous_delivery));
     }
-    if (previous_send) previous_send(from, p);
-  });
-  net.set_delivery_observer(
-      [&](const net::Packet& p, const net::DeliveryInfo& info) {
-        if (is_repair(p)) repair_reach.insert(info.receiver);
-        if (previous_delivery) previous_delivery(p, info);
-      });
+  };
 
   // Snapshot per-agent sample counts so only this round's samples are read.
   struct Snapshot {
@@ -68,7 +93,7 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
     before.push_back(Snapshot{m.recovery_delay_seconds.values().size(),
                               m.request_delay_rtt.values().size()});
   }
-  const std::uint64_t links_before = net.stats().link_transmissions;
+  const std::uint64_t links_before = session.network_stats().link_transmissions;
 
   // --- the loss -------------------------------------------------------------
   auto drop = std::make_shared<net::ScriptedLinkDrop>(
@@ -79,25 +104,54 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
       });
   net.set_drop_policy(drop);
 
-  const DataName sent = source.send_data(spec.page, Payload{0xAB});
-  if (sent != dropped) {
-    throw std::logic_error("run_loss_round: unexpected sequence number");
-  }
-  queue.schedule_after(spec.inter_packet_gap, [&source, &spec] {
-    source.send_data(spec.page, Payload{0xCD});
-  });
-  queue.run();
+  try {
+    const DataName sent = source.send_data(spec.page, Payload{0xAB});
+    if (sent != dropped) {
+      throw std::logic_error("run_loss_round: unexpected sequence number");
+    }
+    queue.schedule_after(spec.inter_packet_gap, [&source, &spec] {
+      source.send_data(spec.page, Payload{0xCD});
+    });
+    session.run();
 
-  if (drop->drops_so_far() != 1) {
-    throw std::logic_error("run_loss_round: packet was not dropped");
+    if (drop->drops_so_far() != 1) {
+      throw std::logic_error("run_loss_round: packet was not dropped");
+    }
+  } catch (...) {
+    restore_observers();
+    throw;
   }
+
+  // --- fold per-network records --------------------------------------------
+  // Each recorder's vectors are time-ordered (its queue's clock is
+  // monotone), and the folded values are plain timestamps/node-ids, so a
+  // sorted merge reproduces the sequential recording exactly — equal
+  // timestamps are indistinguishable in the result, and the reach sets are
+  // order-free.
+  std::set<net::NodeId> repair_reach;
+  for (const Recorder& rec : records) {
+    result.requests += rec.request_times.size();
+    result.repairs += rec.repair_times.size();
+    result.request_times.insert(result.request_times.end(),
+                                rec.request_times.begin(),
+                                rec.request_times.end());
+    result.repair_times.insert(result.repair_times.end(),
+                               rec.repair_times.begin(),
+                               rec.repair_times.end());
+    repair_reach.insert(rec.repair_senders.begin(), rec.repair_senders.end());
+    repair_reach.insert(rec.repair_receivers.begin(),
+                        rec.repair_receivers.end());
+  }
+  std::sort(result.request_times.begin(), result.request_times.end());
+  std::sort(result.repair_times.begin(), result.repair_times.end());
 
   // --- collection -----------------------------------------------------------
   const auto affected = affected_members(net.routing(), spec.source_node,
                                          spec.congested,
                                          session.member_nodes());
   result.affected = affected.size();
-  result.link_transmissions = net.stats().link_transmissions - links_before;
+  result.link_transmissions =
+      session.network_stats().link_transmissions - links_before;
 
   // A member can be unreachable at collection time when a fault plan left
   // the topology partitioned; try_distance reads that as infinity.
@@ -141,9 +195,7 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
   result.members_reached_by_repair = repair_reach.size();
 
   // --- teardown -------------------------------------------------------------
-  net.set_drop_policy(nullptr);
-  net.set_send_observer(previous_send);
-  net.set_delivery_observer(previous_delivery);
+  restore_observers();
   return result;
 }
 

@@ -15,15 +15,17 @@ ScriptedLinkDrop::ScriptedLinkDrop(NodeId from, NodeId to, Predicate match,
 
 bool ScriptedLinkDrop::should_drop(const Packet& packet,
                                    const HopContext& hop) {
-  if (drops_ >= max_drops_) return false;
+  // Link and predicate first: hops that cannot match never touch the budget,
+  // so concurrent walks in other regions only read it.
   if (hop.from != from_ || hop.to != to_) return false;
+  if (drops_.load(std::memory_order_relaxed) >= max_drops_) return false;
   if (!match_(packet)) return false;
-  ++drops_;
+  drops_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void ScriptedLinkDrop::rearm(std::size_t max_drops) {
-  drops_ = 0;
+  drops_.store(0, std::memory_order_relaxed);
   max_drops_ = max_drops;
 }
 

@@ -6,8 +6,18 @@
 // consulted once per directed link traversal of each multicast transmission,
 // so a drop prunes the whole subtree below the congested link, exactly as a
 // real multicast forwarding drop would.
+//
+// Parallel-kernel (PDES) note: under --kernel-threads every region's walks
+// consult the same policy object concurrently.  NoDrop and ScriptedLinkDrop
+// (atomic budget; one predicate-matching packet stream originates from one
+// region at a time) are PDES-safe.  RandomDrop and GilbertElliottDrop draw
+// from a single RNG stream whose consumption order would depend on worker
+// interleaving — they are sequential-kernel only, and SimSession rejects
+// them indirectly: scenarios that need stochastic loss must run with
+// kernel_threads == 0.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -49,7 +59,9 @@ class ScriptedLinkDrop final : public DropPolicy {
 
   bool should_drop(const Packet& packet, const HopContext& hop) override;
 
-  std::size_t drops_so_far() const { return drops_; }
+  std::size_t drops_so_far() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
   void rearm(std::size_t max_drops = 1);
 
  private:
@@ -57,7 +69,9 @@ class ScriptedLinkDrop final : public DropPolicy {
   NodeId to_;
   Predicate match_;
   std::size_t max_drops_;
-  std::size_t drops_ = 0;
+  // Atomic so concurrent region walks (which only read it until the link and
+  // predicate both match) are race-free under the parallel kernel.
+  std::atomic<std::size_t> drops_{0};
 };
 
 // Drops packets matching an (optional) predicate with fixed probability on

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace srm::net {
@@ -19,7 +20,21 @@ MulticastNetwork::MulticastNetwork(sim::EventQueue& queue,
       topo_(&topo),
       routing_(topo),
       sinks_(topo.node_count(), nullptr),
-      drop_policy_(std::make_shared<NoDrop>()) {}
+      drop_policy_(std::make_shared<NoDrop>()),
+      attached_(topo.node_count(), 0) {}
+
+void MulticastNetwork::enable_pdes(sim::ParallelKernel* kernel,
+                                   const RegionMap* map,
+                                   std::uint32_t self_region,
+                                   std::vector<MulticastNetwork*> peers) {
+  kernel_ = kernel;
+  region_map_ = map;
+  self_region_ = self_region;
+  peers_ = std::move(peers);
+  inboxes_.assign(map->count, {});
+  remote_buckets_.assign(map->count, {});
+  kernel->set_drain_hook(self_region, [this] { drain_remote(); });
+}
 
 void MulticastNetwork::attach(NodeId n, PacketSink* sink) {
   if (sinks_.at(n) != nullptr) {
@@ -28,12 +43,41 @@ void MulticastNetwork::attach(NodeId n, PacketSink* sink) {
   if (sink == nullptr) {
     throw std::invalid_argument("MulticastNetwork::attach: null sink");
   }
+  assert(region_map_ == nullptr || region_map_->of[n] == self_region_);
   sinks_[n] = sink;
+  if (peers_.empty()) {
+    attached_[n] = 1;
+  } else {
+    for (MulticastNetwork* p : peers_) p->attached_[n] = 1;
+  }
 }
 
-void MulticastNetwork::detach(NodeId n) { sinks_.at(n) = nullptr; }
+void MulticastNetwork::detach(NodeId n) {
+  sinks_.at(n) = nullptr;
+  if (peers_.empty()) {
+    attached_[n] = 0;
+  } else {
+    for (MulticastNetwork* p : peers_) p->attached_[n] = 0;
+  }
+}
 
 void MulticastNetwork::join(GroupId g, NodeId n) {
+  if (peers_.empty()) {
+    join_local(g, n);
+    return;
+  }
+  for (MulticastNetwork* p : peers_) p->join_local(g, n);
+}
+
+void MulticastNetwork::leave(GroupId g, NodeId n) {
+  if (peers_.empty()) {
+    leave_local(g, n);
+    return;
+  }
+  for (MulticastNetwork* p : peers_) p->leave_local(g, n);
+}
+
+void MulticastNetwork::join_local(GroupId g, NodeId n) {
   if (n >= topo_->node_count()) {
     throw std::out_of_range("MulticastNetwork::join: bad node");
   }
@@ -48,7 +92,7 @@ void MulticastNetwork::join(GroupId g, NodeId n) {
   ++membership_version_;
 }
 
-void MulticastNetwork::leave(GroupId g, NodeId n) {
+void MulticastNetwork::leave_local(GroupId g, NodeId n) {
   const auto it = groups_.find(g);
   if (it == groups_.end() || n >= topo_->node_count() || !it->second.test(n)) {
     return;
@@ -71,7 +115,28 @@ const std::vector<NodeId>& MulticastNetwork::members(GroupId g) const {
 }
 
 void MulticastNetwork::set_drop_policy(std::shared_ptr<DropPolicy> policy) {
+  if (peers_.empty()) {
+    set_drop_policy_local(std::move(policy));
+    return;
+  }
+  // Every region consults the same policy object, so stateful policies
+  // (scripted drop budgets) count globally exactly as they do sequentially;
+  // see drop_policy.h for which policies are PDES-safe.
+  for (MulticastNetwork* p : peers_) p->set_drop_policy_local(policy);
+}
+
+void MulticastNetwork::set_drop_policy_local(
+    std::shared_ptr<DropPolicy> policy) {
   drop_policy_ = policy ? std::move(policy) : std::make_shared<NoDrop>();
+}
+
+void MulticastNetwork::set_fault_drop_policy(
+    std::shared_ptr<DropPolicy> policy) {
+  if (peers_.empty()) {
+    fault_drop_policy_ = std::move(policy);
+    return;
+  }
+  for (MulticastNetwork* p : peers_) p->fault_drop_policy_ = policy;
 }
 
 const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
@@ -291,14 +356,7 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
   const auto shared = std::make_shared<const Packet>(std::move(packet));
   const Packet& pkt = *shared;
 
-  std::uint32_t chain_index;
-  if (!free_chains_.empty()) {
-    chain_index = free_chains_.back();
-    free_chains_.pop_back();
-  } else {
-    chain_index = static_cast<std::uint32_t>(chain_pool_.size());
-    chain_pool_.emplace_back();
-  }
+  const std::uint32_t chain_index = acquire_chain();
   DeliveryChain& chain = chain_pool_[chain_index];
   chain.packet = shared;
   chain.cursor = 0;
@@ -317,9 +375,19 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
       i = s.subtree_end;
       continue;
     }
-    if (s.member && sinks_[s.node] != nullptr) {
-      chain.items.push_back(ChainItem{st.delay, 0, s.node, st.hops});
-      ++stats_.deliveries;
+    if (s.member && attached_[s.node]) {
+      const std::uint32_t reg =
+          region_map_ != nullptr ? region_map_->of[s.node] : self_region_;
+      if (peers_.empty() || reg == self_region_) {
+        chain.items.push_back(ChainItem{st.delay, 0, s.node, st.hops});
+        ++stats_.deliveries;
+      } else {
+        // Receiver lives in another region: bucket for a remote chain.
+        // The owning network counts the delivery when it adopts the chain,
+        // so increments and decrements stay on one network's counters.
+        if (remote_buckets_[reg].empty()) touched_regions_.push_back(reg);
+        remote_buckets_[reg].push_back(ChainItem{st.delay, 0, s.node, st.hops});
+      }
     }
     for (std::uint32_t e = s.first_edge; e < s.first_edge + s.edge_count;
          ++e) {
@@ -338,6 +406,98 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
     ++i;
   }
   dispatch_chain(chain_index, queue_->now());
+  if (!touched_regions_.empty()) {
+    // Ship each remote bucket as one chain.  Region index order makes the
+    // per-origin chain counter — and thus the destination's drain order —
+    // a pure function of the walk, independent of worker scheduling.
+    std::sort(touched_regions_.begin(), touched_regions_.end());
+    for (std::uint32_t reg : touched_regions_) {
+      std::vector<ChainItem>& bucket = remote_buckets_[reg];
+      std::stable_sort(bucket.begin(), bucket.end(),
+                       [](const ChainItem& a, const ChainItem& b) {
+                         return a.delay < b.delay;
+                       });
+      // Conservative-safety invariant: the path to another region crosses an
+      // inter-region link, so no remote arrival can undercut the lookahead.
+      assert(kernel_ == nullptr ||
+             bucket.front().delay >= kernel_->lookahead());
+      peers_[reg]->accept_remote_chain(self_region_, remote_seq_++, shared,
+                                       std::move(bucket), queue_->now());
+      bucket = std::vector<ChainItem>();
+    }
+    touched_regions_.clear();
+  }
+}
+
+std::uint32_t MulticastNetwork::acquire_chain() {
+  if (!free_chains_.empty()) {
+    const std::uint32_t index = free_chains_.back();
+    free_chains_.pop_back();
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(chain_pool_.size());
+  chain_pool_.emplace_back();
+  return index;
+}
+
+void MulticastNetwork::accept_remote_chain(std::uint32_t origin_region,
+                                           std::uint64_t origin_seq,
+                                           std::shared_ptr<const Packet> packet,
+                                           std::vector<ChainItem> items,
+                                           double sent_at) {
+  RemoteChain rc;
+  rc.first_arrival = sent_at + items.front().delay;
+  rc.packet = std::move(packet);
+  rc.items = std::move(items);
+  rc.sent_at = sent_at;
+  rc.origin_region = origin_region;
+  rc.origin_seq = origin_seq;
+  inboxes_[origin_region].push_back(std::move(rc));
+}
+
+void MulticastNetwork::drain_remote() {
+  bool any = false;
+  for (const std::vector<RemoteChain>& lane : inboxes_) {
+    if (!lane.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  remote_merge_scratch_.clear();
+  for (std::vector<RemoteChain>& lane : inboxes_) {
+    for (RemoteChain& rc : lane) {
+      remote_merge_scratch_.push_back(std::move(rc));
+    }
+    lane.clear();
+  }
+  // Adoption order is the deterministic merge key; the local seq block each
+  // chain draws in dispatch_chain() follows from it, so delivery interleaving
+  // at equal timestamps is identical for every worker count.
+  std::sort(remote_merge_scratch_.begin(), remote_merge_scratch_.end(),
+            [](const RemoteChain& a, const RemoteChain& b) {
+              if (a.first_arrival != b.first_arrival) {
+                return a.first_arrival < b.first_arrival;
+              }
+              if (a.origin_region != b.origin_region) {
+                return a.origin_region < b.origin_region;
+              }
+              return a.origin_seq < b.origin_seq;
+            });
+  for (RemoteChain& rc : remote_merge_scratch_) {
+    const std::uint32_t index = acquire_chain();
+    DeliveryChain& chain = chain_pool_[index];
+    chain.packet = std::move(rc.packet);
+    chain.items = std::move(rc.items);
+    chain.cursor = 0;
+    for (const ChainItem& item : chain.items) {
+      // Items invalidated while still in the inbox (a cut during the same
+      // global phase as the send) were never counted as deliveries here.
+      if (!item.dropped) ++stats_.deliveries;
+    }
+    dispatch_chain(index, rc.sent_at);
+  }
+  remote_merge_scratch_.clear();
 }
 
 void MulticastNetwork::dispatch_chain(std::uint32_t index, double sent_at) {
@@ -422,6 +582,14 @@ bool MulticastNetwork::path_uses_link(NodeId src, NodeId dst, LinkId link) {
 }
 
 void MulticastNetwork::invalidate_in_flight(LinkId link) {
+  if (peers_.empty()) {
+    invalidate_in_flight_local(link);
+    return;
+  }
+  for (MulticastNetwork* p : peers_) p->invalidate_in_flight_local(link);
+}
+
+void MulticastNetwork::invalidate_in_flight_local(LinkId link) {
   for (DeliveryChain& chain : chain_pool_) {
     if (!chain.packet) continue;
     for (std::uint32_t i = chain.cursor;
@@ -441,6 +609,20 @@ void MulticastNetwork::invalidate_in_flight(LinkId link) {
       pd.dropped = true;
       --stats_.deliveries;
       ++stats_.in_flight_invalidated;
+    }
+  }
+  // Chains still in inbox lanes (sent in this same global phase, not yet
+  // drained).  These were never counted as deliveries, so only the
+  // invalidation counter moves; drain_remote() skips them when counting.
+  for (std::vector<RemoteChain>& lane : inboxes_) {
+    for (RemoteChain& rc : lane) {
+      for (ChainItem& item : rc.items) {
+        if (item.dropped) continue;
+        if (path_uses_link(rc.packet->source, item.to, link)) {
+          item.dropped = true;
+          ++stats_.in_flight_invalidated;
+        }
+      }
     }
   }
 }
@@ -472,8 +654,24 @@ void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
     delay += l.delay;
     --ttl;
   }
-  const auto shared = std::make_shared<const Packet>(std::move(packet));
-  schedule_delivery(shared, to, delay, static_cast<int>(p.size()) - 1);
+  const int hops_taken = static_cast<int>(p.size()) - 1;
+  const std::uint32_t dest_region =
+      region_map_ != nullptr ? region_map_->of[to] : self_region_;
+  if (peers_.empty() || dest_region == self_region_) {
+    const auto shared = std::make_shared<const Packet>(std::move(packet));
+    schedule_delivery(shared, to, delay, hops_taken);
+    return;
+  }
+  // Cross-region unicast: a one-item remote chain, adopted and counted by
+  // the owning network.  Mirror schedule_delivery's detached-receiver check
+  // so a unicast to a departed member costs nothing in either mode.
+  if (!attached_[to]) return;
+  assert(kernel_ == nullptr || delay >= kernel_->lookahead());
+  std::vector<ChainItem> items{ChainItem{delay, 0, to, hops_taken}};
+  peers_[dest_region]->accept_remote_chain(
+      self_region_, remote_seq_++,
+      std::make_shared<const Packet>(std::move(packet)), std::move(items),
+      queue_->now());
 }
 
 }  // namespace srm::net

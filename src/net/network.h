@@ -22,9 +22,11 @@
 
 #include "net/drop_policy.h"
 #include "net/packet.h"
+#include "net/region_map.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
+#include "sim/pdes.h"
 #include "trace/trace.h"
 
 namespace srm::net {
@@ -44,8 +46,35 @@ class MulticastNetwork {
  public:
   MulticastNetwork(sim::EventQueue& queue, const Topology& topo);
 
+  // --- Conservative-PDES mode (region-scoped operation) ------------------
+  // Under the parallel kernel there is one MulticastNetwork per region, each
+  // bound to that region's EventQueue.  A sender's network still walks the
+  // full member-pruned tree (the whole walk — TTL, scoping, drop-policy
+  // consultations — happens at send time on the sender's thread, exactly as
+  // in sequential mode), but receivers in other regions are bucketed per
+  // region and handed to the owning peer as a remote delivery chain through
+  // a single-writer inbox lane.  The kernel's drain pass adopts those chains
+  // into the destination's pool — first-class, so link-failure invalidation
+  // still sees them — in deterministic (first arrival, origin region, origin
+  // seq) order.  Control-plane calls (attach/detach, join/leave, drop
+  // policies, invalidate_in_flight) fan out to every peer and are only legal
+  // from serialized phases (setup or global events), never from a region
+  // event.
+  //
+  // Must be called once per region network, before any attach/join, with
+  // peers indexed by region (peers[self_region] == this).  Registers this
+  // network's drain hook with the kernel.
+  void enable_pdes(sim::ParallelKernel* kernel, const RegionMap* map,
+                   std::uint32_t self_region,
+                   std::vector<MulticastNetwork*> peers);
+  bool pdes_enabled() const { return kernel_ != nullptr; }
+  std::uint32_t self_region() const { return self_region_; }
+
   // Registers the protocol agent living at node n.  At most one sink per
   // node; the sink must outlive the network or be detached first.
+  // PDES mode: call on the network owning n's region; the attachment flag
+  // fans out so every sender's walk sees the same membership the sequential
+  // kernel would.
   void attach(NodeId n, PacketSink* sink);
   void detach(NodeId n);
 
@@ -64,9 +93,7 @@ class MulticastNetwork {
   // epochs).  Kept separate from set_drop_policy so experiment harnesses that
   // install per-round scripted drops do not clobber an active fault policy.
   // Consulted after the primary policy; pass nullptr to clear.
-  void set_fault_drop_policy(std::shared_ptr<DropPolicy> policy) {
-    fault_drop_policy_ = std::move(policy);
-  }
+  void set_fault_drop_policy(std::shared_ptr<DropPolicy> policy);
   const std::shared_ptr<DropPolicy>& fault_drop_policy() const {
     return fault_drop_policy_;
   }
@@ -182,8 +209,13 @@ class MulticastNetwork {
   void schedule_delivery(const std::shared_ptr<const Packet>& packet,
                          NodeId to, double delay, int hops_taken);
   void fire_delivery(std::uint32_t index);
+  std::uint32_t acquire_chain();
   void dispatch_chain(std::uint32_t index, double sent_at);
   void fire_chain(std::uint32_t index);
+  void join_local(GroupId g, NodeId n);
+  void leave_local(GroupId g, NodeId n);
+  void set_drop_policy_local(std::shared_ptr<DropPolicy> policy);
+  void invalidate_in_flight_local(LinkId link);
   bool hop_allowed(const Packet& packet, int ttl_at_from,
                    const LinkEnd& edge, NodeId from);
   // True if the cached SPT path src -> dst traverses `link` (either
@@ -246,6 +278,47 @@ class MulticastNetwork {
   };
   std::vector<DeliveryChain> chain_pool_;
   std::vector<std::uint32_t> free_chains_;
+
+  // --- PDES state (inert in sequential mode) -----------------------------
+  // A delivery chain crossing a region boundary, in flight between the
+  // sender's walk and the destination's drain pass.  Items keep the path
+  // delay measured from the original sender; the destination re-bases them
+  // on sent_at when it adopts the chain, so arrival times are exactly what
+  // the sequential kernel would compute.
+  struct RemoteChain {
+    std::shared_ptr<const Packet> packet;
+    std::vector<ChainItem> items;  // sorted by delay, walk order on ties
+    double sent_at = 0.0;
+    double first_arrival = 0.0;    // sent_at + items.front().delay
+    std::uint32_t origin_region = 0;
+    std::uint64_t origin_seq = 0;  // per-origin monotonic chain counter
+  };
+  // Ships one chain to this (destination) network; runs on the ORIGIN's
+  // thread, touching only the origin's inbox lane.  During a window each
+  // lane has exactly one writer (the origin region's worker) and no reader;
+  // drain_remote() runs between windows with no region executing.
+  void accept_remote_chain(std::uint32_t origin_region,
+                           std::uint64_t origin_seq,
+                           std::shared_ptr<const Packet> packet,
+                           std::vector<ChainItem> items, double sent_at);
+  // Kernel drain hook: adopts inbox chains into the local pool in
+  // (first_arrival, origin_region, origin_seq) order.
+  void drain_remote();
+
+  sim::ParallelKernel* kernel_ = nullptr;
+  const RegionMap* region_map_ = nullptr;
+  std::uint32_t self_region_ = 0;
+  std::vector<MulticastNetwork*> peers_;  // by region; empty when sequential
+  // Global attachment map, maintained in every mode: region-scoped walks
+  // must see remote receivers exactly as a sequential walk would see their
+  // sinks.  In sequential mode attached_[n] mirrors sinks_[n] != nullptr.
+  std::vector<std::uint8_t> attached_;
+  std::vector<std::vector<RemoteChain>> inboxes_;  // [origin region]
+  std::uint64_t remote_seq_ = 0;
+  std::vector<RemoteChain> remote_merge_scratch_;
+  // multicast() walk scratch: items destined for other regions, per region.
+  std::vector<std::vector<ChainItem>> remote_buckets_;
+  std::vector<std::uint32_t> touched_regions_;
 };
 
 }  // namespace srm::net

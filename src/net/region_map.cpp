@@ -1,0 +1,164 @@
+#include "net/region_map.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+namespace srm::net {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+// BFS hop distances from `from` over every link, up or down (structure,
+// not current connectivity, decides the partition).
+std::vector<std::uint32_t> hop_distances(
+    const Topology& topo, const std::vector<std::vector<LinkEnd>>& adj,
+    NodeId from) {
+  (void)topo;
+  std::vector<std::uint32_t> dist(adj.size(), kUnassigned);
+  std::queue<NodeId> frontier;
+  dist[from] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (const LinkEnd& e : adj[n]) {
+      if (dist[e.peer] != kUnassigned) continue;
+      dist[e.peer] = dist[n] + 1;
+      frontier.push(e.peer);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+RegionMap partition_regions(const Topology& topo, std::uint32_t target) {
+  const std::size_t n = topo.node_count();
+  RegionMap map;
+  map.of.assign(n, 0);
+  map.count = 1;
+  map.lookahead = std::numeric_limits<double>::infinity();
+  if (target <= 1 || n < 2) return map;
+  const std::uint32_t regions =
+      std::min<std::uint32_t>(target, static_cast<std::uint32_t>(n));
+
+  // Full adjacency including down links, in link-id order (deterministic).
+  std::vector<std::vector<LinkEnd>> adj(n);
+  for (LinkId id = 0; id < topo.link_count(); ++id) {
+    const Link& l = topo.link(id);
+    adj[l.a].push_back(LinkEnd{l.b, id, l.delay, l.threshold});
+    adj[l.b].push_back(LinkEnd{l.a, id, l.delay, l.threshold});
+  }
+
+  // Farthest-point seeds over hop distance, first seed at node 0; each next
+  // seed maximizes the min hop distance to the chosen set (unreachable
+  // nodes count as infinitely far, so each component gets a seed before any
+  // component gets two).  Ties go to the lowest node id.
+  std::vector<NodeId> seeds;
+  std::vector<std::uint64_t> min_hops(n, std::numeric_limits<std::uint64_t>::max());
+  seeds.push_back(0);
+  while (seeds.size() < regions) {
+    const std::vector<std::uint32_t> d = hop_distances(topo, adj, seeds.back());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t h =
+          (d[i] == kUnassigned) ? std::numeric_limits<std::uint64_t>::max()
+                                : d[i];
+      min_hops[i] = std::min(min_hops[i], h);
+    }
+    NodeId best = 0;
+    std::uint64_t best_h = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (min_hops[i] > best_h) {
+        best_h = min_hops[i];
+        best = static_cast<NodeId>(i);
+      }
+    }
+    if (best_h == 0) break;  // every node already is a seed
+    seeds.push_back(best);
+    min_hops[best] = 0;
+  }
+
+  // Multi-source Dijkstra growth over link delay, capped at ceil(n/regions)
+  // nodes per region so no single region swallows the graph (region balance
+  // is what buys parallel speedup).  Entries are (distance, node, region);
+  // the strict tuple order makes claim order deterministic.
+  const std::size_t cap = (n + seeds.size() - 1) / seeds.size();
+  map.of.assign(n, kUnassigned);
+  std::vector<std::size_t> size(seeds.size(), 0);
+  using Entry = std::tuple<double, NodeId, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (std::uint32_t r = 0; r < seeds.size(); ++r) {
+    pq.push(Entry{0.0, seeds[r], r});
+  }
+  while (!pq.empty()) {
+    const auto [dist, node, region] = pq.top();
+    pq.pop();
+    if (map.of[node] != kUnassigned) continue;
+    if (size[region] >= cap) continue;
+    map.of[node] = region;
+    ++size[region];
+    for (const LinkEnd& e : adj[node]) {
+      if (map.of[e.peer] == kUnassigned) {
+        pq.push(Entry{dist + e.delay, e.peer, region});
+      }
+    }
+  }
+
+  // Leftovers: disconnected from every seed, or walled in by full regions.
+  // Attach each (in node-id order) to the smallest region a neighbor
+  // already belongs to — but only while that region is below the cap,
+  // else the globally smallest.  Without the cap check a tree with
+  // BFS-ordered ids cascades its whole walled-in interior into one region
+  // (each node's parent is assigned first and becomes its only assigned
+  // neighbor), destroying the balance the cap bought.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (map.of[i] != kUnassigned) continue;
+    std::uint32_t best = kUnassigned;
+    for (const LinkEnd& e : adj[i]) {
+      const std::uint32_t r = map.of[e.peer];
+      if (r == kUnassigned) continue;
+      if (best == kUnassigned || size[r] < size[best]) best = r;
+    }
+    if (best == kUnassigned || size[best] >= cap) {
+      std::uint32_t smallest = 0;
+      for (std::uint32_t r = 1; r < size.size(); ++r) {
+        if (size[r] < size[smallest]) smallest = r;
+      }
+      best = smallest;
+    }
+    map.of[i] = best;
+    ++size[best];
+  }
+
+  // Compact region ids (a cap'd growth can leave a seed's region empty only
+  // when seeds landed adjacent; renumber so ids are dense) and compute the
+  // lookahead over the cut.
+  std::vector<std::uint32_t> dense(seeds.size(), kUnassigned);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t& d = dense[map.of[i]];
+    if (d == kUnassigned) d = next++;
+    map.of[i] = d;
+  }
+  map.count = next;
+  map.lookahead = std::numeric_limits<double>::infinity();
+  for (const Link& l : topo.links()) {
+    if (map.of[l.a] != map.of[l.b]) {
+      map.lookahead = std::min(map.lookahead, l.delay);
+    }
+  }
+  if (map.count <= 1 || !(map.lookahead > 0.0)) {
+    // Zero-delay cut links would force zero-width windows; fall back to the
+    // sequential kernel rather than livelock.
+    map.of.assign(n, 0);
+    map.count = 1;
+    map.lookahead = std::numeric_limits<double>::infinity();
+  }
+  return map;
+}
+
+}  // namespace srm::net

@@ -1,0 +1,49 @@
+// Region partitioning for the conservative parallel kernel.
+//
+// partition_regions() groups a Topology's nodes into regions so that each
+// region can be simulated on its own thread: low-delay links are kept
+// inside regions and high-delay links end up on the cut, because the PDES
+// lookahead — the safe-window width — is the minimum delay over every
+// inter-region link.  The partition is a pure, deterministic function of
+// the graph structure (node/link ids, delays), never of thread count or
+// link up/down state, so the same topology always yields the same region
+// map and the parallel kernel's event order is reproducible bit-for-bit.
+//
+// Down links still count: they constrain the lookahead (a healed link must
+// not be able to deliver faster than the windows assumed) and they
+// contribute to the structure walk (a partition/heal cycle must not change
+// the region map).
+//
+// Algorithm (all ties broken by lowest id):
+//   1. seeds by farthest-point sampling over BFS hop distance;
+//   2. multi-source Dijkstra growth over link delays with a per-region
+//      size cap of ceil(N / regions), so cheap edges are absorbed first;
+//   3. leftover nodes (disconnected, or walled in by full regions) are
+//      attached to the smallest region in node-id order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace srm::net {
+
+struct RegionMap {
+  std::vector<std::uint32_t> of;  // node id -> region index
+  std::uint32_t count = 1;        // number of regions actually produced
+  // Minimum delay over every link (up or down) whose endpoints live in
+  // different regions; +infinity when count == 1.  This is the parallel
+  // kernel's lookahead.
+  double lookahead = 0.0;
+
+  std::uint32_t region_of(NodeId n) const { return of[n]; }
+};
+
+// Partitions `topo` into at most `target` regions.  Degenerate inputs
+// (target <= 1, empty graph, or a cut that would yield zero lookahead)
+// collapse to a single region, which the caller should treat as "run
+// sequentially".
+RegionMap partition_regions(const Topology& topo, std::uint32_t target);
+
+}  // namespace srm::net

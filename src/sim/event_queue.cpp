@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -185,6 +186,30 @@ std::size_t EventQueue::run_until(Time t_end) {
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
   return executed;
+}
+
+std::size_t EventQueue::run_before(Time t_end) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!stopped_ && prune_top() && heap_.front().when < t_end) {
+    run_top();
+    ++executed;
+  }
+  return executed;
+}
+
+Time EventQueue::next_event_time() {
+  if (!prune_top()) return std::numeric_limits<Time>::infinity();
+  return heap_.front().when;
+}
+
+void EventQueue::advance_to(Time t) {
+  if (t <= now_) return;
+  if (prune_top() && heap_.front().when < t) {
+    throw std::logic_error(
+        "EventQueue::advance_to: pending event earlier than target time");
+  }
+  now_ = t;
 }
 
 std::size_t EventQueue::run_steps(std::size_t max_events) {

@@ -93,8 +93,24 @@ class EventQueue {
   std::size_t run();
   // Runs events with timestamp <= t_end, then sets now() to t_end.
   std::size_t run_until(Time t_end);
+  // Runs events with timestamp strictly < t_end and leaves now() at the
+  // last executed event (NOT t_end).  This is the conservative-PDES window
+  // primitive: a region executes its safe window [floor, t_end) without
+  // claiming to have reached t_end, so the merged end-of-run clock equals
+  // the last event time the sequential kernel would report.
+  std::size_t run_before(Time t_end);
   // Runs at most max_events events.
   std::size_t run_steps(std::size_t max_events);
+
+  // Timestamp of the earliest pending event, or +infinity when empty.
+  // Lazily prunes cancelled tombstones off the heap top.
+  Time next_event_time();
+
+  // Moves the clock forward to t (no-op if now() >= t) without executing
+  // anything.  Requires that no pending event is earlier than t; used by the
+  // PDES coordinator to line region clocks up before a serialized global
+  // phase and at end of run.
+  void advance_to(Time t);
 
   // Requests that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }

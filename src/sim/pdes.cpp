@@ -1,0 +1,240 @@
+#include "sim/pdes.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace srm::sim {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+}  // namespace
+
+ParallelKernel::ParallelKernel(std::size_t regions, double lookahead)
+    : lookahead_(lookahead) {
+  if (regions == 0) {
+    throw std::invalid_argument("ParallelKernel: need at least one region");
+  }
+  if (regions > 1 && !(lookahead > 0.0)) {
+    throw std::invalid_argument(
+        "ParallelKernel: multi-region kernel requires positive lookahead");
+  }
+  // One region has no cross-region constraint: an unbounded window keeps
+  // the main loop from spinning on W == region floor when lookahead == 0.
+  if (regions == 1) lookahead_ = kInf;
+  queues_.reserve(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    queues_.push_back(std::make_unique<EventQueue>());
+  }
+  lanes_.assign(regions, std::vector<std::vector<Mail>>(regions + 1));
+  lane_seq_.assign(regions + 1, 0);
+  drain_hooks_.assign(regions, {});
+}
+
+Time ParallelKernel::now() const {
+  Time t = global_.now();
+  for (const auto& q : queues_) t = std::max(t, q->now());
+  return t;
+}
+
+void ParallelKernel::post(std::size_t from, std::size_t to, Time when,
+                          std::function<void()> fn) {
+  const std::size_t lane = (from == kGlobalRegion) ? queues_.size() : from;
+  assert(to < queues_.size());
+  assert(lane <= queues_.size());
+  // The conservative-safety contract: a region may only reach another
+  // region at least `lookahead` into the future.  (Floating-point addition
+  // of non-negative delays is monotone, so path-delay sums that include an
+  // inter-region link satisfy this exactly, not just approximately.)
+  assert(from == kGlobalRegion || when >= queues_[from]->now() + lookahead_);
+  lanes_[to][lane].push_back(Mail{when, lane, lane_seq_[lane]++, std::move(fn)});
+}
+
+void ParallelKernel::set_drain_hook(std::size_t r, std::function<void()> hook) {
+  drain_hooks_.at(r) = std::move(hook);
+}
+
+std::uint64_t ParallelKernel::drain_all() {
+  std::uint64_t drained = 0;
+  for (std::size_t to = 0; to < queues_.size(); ++to) {
+    drain_scratch_.clear();
+    for (std::vector<Mail>& lane : lanes_[to]) {
+      for (Mail& m : lane) drain_scratch_.push_back(std::move(m));
+      lane.clear();
+    }
+    if (!drain_scratch_.empty()) {
+      // Deterministic merge order: (arrival time, source lane, post order).
+      // Destination seqs are allocated in this order, so the region's
+      // execution is independent of which worker produced each message.
+      std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+                [](const Mail& a, const Mail& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  if (a.from_lane != b.from_lane) return a.from_lane < b.from_lane;
+                  return a.seq < b.seq;
+                });
+      for (Mail& m : drain_scratch_) {
+        queues_[to]->schedule_at(m.when, std::move(m.fn));
+        ++drained;
+      }
+      drain_scratch_.clear();
+    }
+    if (drain_hooks_[to]) drain_hooks_[to]();
+  }
+  return drained;
+}
+
+Time ParallelKernel::region_floor() {
+  Time m = kInf;
+  for (const std::unique_ptr<EventQueue>& q : queues_) {
+    m = std::min(m, q->next_event_time());
+  }
+  return m;
+}
+
+std::uint64_t ParallelKernel::executed_events() const {
+  std::uint64_t n = global_.executed_events();
+  for (const std::unique_ptr<EventQueue>& q : queues_) {
+    n += q->executed_events();
+  }
+  return n;
+}
+
+ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
+  RunStats stats;
+  const std::size_t region_count = queues_.size();
+  const unsigned workers = std::min<unsigned>(
+      std::max(threads, 1u), static_cast<unsigned>(region_count));
+
+  // Worker pool for this run.  Coordination is a round counter published
+  // under `mu`: workers sleep until the round advances, claim regions off
+  // the shared atomic cursor, execute each claimed region's window on the
+  // calling worker's thread, and the last one out signals the coordinator.
+  // All queue state crosses threads only through `mu`, which gives the
+  // happens-before edges ThreadSanitizer (and the hardware) need.
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t round = 0;
+  Time window_end = 0.0;
+  std::atomic<std::size_t> next_region{0};
+  std::atomic<std::uint64_t> window_events{0};
+  unsigned active = 0;
+  bool shutdown = false;
+  std::vector<std::thread> pool;
+
+  if (workers > 1) {
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      pool.emplace_back([&] {
+        std::uint64_t seen = 0;
+        for (;;) {
+          Time w;
+          {
+            std::unique_lock<std::mutex> lk(mu);
+            cv_work.wait(lk, [&] { return shutdown || round != seen; });
+            if (shutdown) return;
+            seen = round;
+            w = window_end;
+          }
+          std::uint64_t n = 0;
+          for (;;) {
+            const std::size_t r =
+                next_region.fetch_add(1, std::memory_order_relaxed);
+            if (r >= region_count) break;
+            n += queues_[r]->run_before(w);
+          }
+          window_events.fetch_add(n, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            if (--active == 0) cv_done.notify_one();
+          }
+        }
+      });
+    }
+  }
+
+  auto run_window = [&](Time w) -> std::uint64_t {
+    if (workers <= 1) {
+      std::uint64_t n = 0;
+      for (const std::unique_ptr<EventQueue>& q : queues_) {
+        n += q->run_before(w);
+      }
+      return n;
+    }
+    window_events.store(0, std::memory_order_relaxed);
+    next_region.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      window_end = w;
+      active = workers;
+      ++round;
+    }
+    cv_work.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv_done.wait(lk, [&] { return active == 0; });
+    }
+    return window_events.load(std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    stats.messages += drain_all();
+    const Time m_r = region_floor();
+    const Time m_g = global_.next_event_time();
+    const Time floor = std::min(m_r, m_g);
+    if (floor == kInf || floor > t_end) break;
+    if (m_g <= m_r) {
+      // Serialized global phase: ties go to the global queue, so control
+      // events (fault cuts, harness round drivers) always observe region
+      // state strictly before timestamp m_g, and every region clock reads
+      // m_g while they execute.
+      for (const std::unique_ptr<EventQueue>& q : queues_) {
+        q->advance_to(m_g);
+      }
+      stats.global_events += global_.run_until(m_g);
+      ++stats.global_phases;
+      continue;  // global events may have posted mail: drain before windows
+    }
+    Time w = (lookahead_ == kInf) ? m_g : m_r + lookahead_;
+    w = std::min(w, m_g);
+    if (w > t_end) {
+      // Include events at exactly t_end, nothing later (run_until parity).
+      w = std::nextafter(t_end, kInf);
+    }
+    stats.region_events += run_window(w);
+    ++stats.windows;
+  }
+
+  if (workers > 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Line every clock up so now() reports what the sequential kernel would:
+  // the last executed event time, or t_end for a bounded run.
+  Time end = now();
+  if (std::isfinite(t_end)) end = std::max(end, t_end);
+  if (std::isfinite(end)) {
+    for (const std::unique_ptr<EventQueue>& q : queues_) q->advance_to(end);
+    global_.advance_to(end);
+  }
+
+  total_.region_events += stats.region_events;
+  total_.global_events += stats.global_events;
+  total_.windows += stats.windows;
+  total_.global_phases += stats.global_phases;
+  total_.messages += stats.messages;
+  return stats;
+}
+
+}  // namespace srm::sim

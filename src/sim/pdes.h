@@ -1,0 +1,146 @@
+// Conservative parallel discrete-event kernel (region-partitioned PDES).
+//
+// One giant scenario is split into R regions, each owning a private
+// EventQueue; worker threads execute regions concurrently inside safe
+// windows derived from a lookahead bound, and cross-region effects travel
+// through single-writer mailboxes that are drained in a deterministic
+// (time, source region, post order) order between windows.  The result is
+// bit-identical for every worker count: threads only decide *who* executes
+// a region's window, never *what* executes or in which order.
+//
+// Protocol (synchronous conservative / safe-window LBTS):
+//   floor  M  = min over every queue's next event time
+//   window W  = min(M + lookahead, next global event time)
+//   1. drain mailboxes + per-region drain hooks (deterministic merge)
+//   2. if the global queue holds the earliest event, line every region
+//      clock up to it and run the global events serially (a "global phase":
+//      topology mutation, fault injection, harness control — anything that
+//      must see a quiescent world)
+//   3. otherwise run every region's events with timestamp < W in parallel
+//   4. barrier; repeat until every queue is empty
+//
+// Safety argument: the caller guarantees every region-to-region message is
+// timestamped at least `lookahead` after the sending event (for the network
+// layer this holds structurally: any path into another region crosses an
+// inter-region link whose delay is >= lookahead, and floating-point addition
+// of non-negative delays is monotone).  An event executing in window [M, W)
+// therefore posts messages stamped >= M + lookahead >= W, i.e. never into
+// the window being executed, so intra-window execution needs no
+// synchronization at all.
+//
+// Determinism rules (the "merged statistics stay bit-identical" argument):
+//   - every region queue orders its events by (time, region-local seq), and
+//     region-local execution is single-threaded, so a region is a
+//     deterministic function of its inputs;
+//   - mailbox drains sort by (time, source region, per-source post counter),
+//     all deterministic, and allocate destination seqs in that order;
+//   - global phases run before region events carrying the same timestamp
+//     (global events are scheduled by setup/fault code whose sequential-
+//     kernel seqs predate the run, so this matches the common case);
+//   - worker assignment is invisible: a region's window is executed by
+//     exactly one worker, and windows are separated by barriers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace srm::sim {
+
+class ParallelKernel {
+ public:
+  // Lane index used by post() for messages originating in a global phase
+  // (no lookahead requirement; they are drained before the next window).
+  static constexpr std::size_t kGlobalRegion =
+      std::numeric_limits<std::size_t>::max();
+
+  struct RunStats {
+    std::uint64_t region_events = 0;  // events executed inside windows
+    std::uint64_t global_events = 0;  // events executed in global phases
+    std::uint64_t windows = 0;        // parallel windows executed
+    std::uint64_t global_phases = 0;  // serialized phases executed
+    std::uint64_t messages = 0;       // cross-region mail drained
+  };
+
+  // `lookahead` is the minimum timestamp increment of any region-to-region
+  // message (for topologies: the minimum inter-region link delay).  It must
+  // be > 0 unless regions == 1; +infinity is fine (fully independent
+  // regions).
+  ParallelKernel(std::size_t regions, double lookahead);
+  ParallelKernel(const ParallelKernel&) = delete;
+  ParallelKernel& operator=(const ParallelKernel&) = delete;
+
+  std::size_t region_count() const { return queues_.size(); }
+  double lookahead() const { return lookahead_; }
+
+  EventQueue& region_queue(std::size_t r) { return *queues_.at(r); }
+  // Serialized control queue: fault injection, harness round driving, and
+  // any other event that must observe a quiescent world belongs here.
+  EventQueue& global_queue() { return global_; }
+
+  // Latest clock over all queues.  Meaningful between runs (run() lines
+  // every clock up before returning).
+  Time now() const;
+
+  // Posts fn to execute in region `to`'s queue at absolute time `when`.
+  // From a region event, `from` is the executing region and `when` must be
+  // >= that region's clock + lookahead (asserted); from a global phase pass
+  // kGlobalRegion, where any `when` >= the current global time is legal.
+  // At most one region executes at a time per `from`, so each (to, from)
+  // lane has a single writer and posting is synchronization-free.
+  void post(std::size_t from, std::size_t to, Time when,
+            std::function<void()> fn);
+
+  // Registers a hook called for region r on every drain pass (between
+  // windows, with no region executing).  Subsystems with their own typed
+  // cross-region payloads (the multicast network's remote delivery chains)
+  // use this to merge and schedule them deterministically.
+  void set_drain_hook(std::size_t r, std::function<void()> hook);
+
+  // Runs until every queue is empty, or until the next event would be later
+  // than t_end (events at exactly t_end still run; every clock is then
+  // advanced to t_end, mirroring EventQueue::run_until).  `threads` is the
+  // worker count: 1 executes regions serially on the calling thread, N > 1
+  // spawns min(N, regions) workers.  The executed event sequence is
+  // identical for every `threads` value.
+  RunStats run(unsigned threads,
+               Time t_end = std::numeric_limits<Time>::infinity());
+
+  // Total events ever executed across all queues (global included).
+  std::uint64_t executed_events() const;
+
+  // Cumulative stats over every run() call.
+  const RunStats& total_stats() const { return total_; }
+
+ private:
+  struct Mail {
+    Time when;
+    std::size_t from_lane;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  // Drains lanes + hooks for every region; returns messages drained.
+  std::uint64_t drain_all();
+  // Earliest pending region event across all regions.
+  Time region_floor();
+
+  double lookahead_;
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  EventQueue global_;
+  // lanes_[to][from]: pending mail, appended by `from`'s worker only.
+  // The from dimension has region_count() + 1 entries; the last is the
+  // global-phase lane.
+  std::vector<std::vector<std::vector<Mail>>> lanes_;
+  std::vector<std::uint64_t> lane_seq_;  // per source lane post counter
+  std::vector<std::function<void()>> drain_hooks_;
+  std::vector<Mail> drain_scratch_;
+  RunStats total_;
+};
+
+}  // namespace srm::sim

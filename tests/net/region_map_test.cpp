@@ -1,0 +1,97 @@
+#include "net/region_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "topo/builders.h"
+#include "util/rng.h"
+
+namespace srm::net {
+namespace {
+
+// Minimum delay over all links whose endpoints land in different regions.
+double cut_lookahead(const Topology& topo, const RegionMap& map) {
+  double min_delay = std::numeric_limits<double>::infinity();
+  for (const auto& link : topo.links()) {
+    if (map.region_of(link.a) != map.region_of(link.b)) {
+      min_delay = std::min(min_delay, link.delay);
+    }
+  }
+  return min_delay;
+}
+
+TEST(PdesRegionMapTest, SingleRegionWhenTargetIsOne) {
+  const auto topo = topo::make_bounded_degree_tree(50, 3);
+  const RegionMap map = partition_regions(topo, 1);
+  EXPECT_EQ(map.count, 1u);
+  EXPECT_TRUE(std::isinf(map.lookahead));
+  for (NodeId n = 0; n < 50; ++n) EXPECT_EQ(map.region_of(n), 0u);
+}
+
+TEST(PdesRegionMapTest, CoversEveryNodeExactlyOnce) {
+  const auto topo = topo::make_bounded_degree_tree(500, 4);
+  const RegionMap map = partition_regions(topo, 6);
+  ASSERT_EQ(map.of.size(), topo.node_count());
+  std::set<std::uint32_t> used;
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    ASSERT_LT(map.region_of(n), map.count);
+    used.insert(map.region_of(n));
+  }
+  // Dense renumbering: regions 0..count-1 all non-empty.
+  EXPECT_EQ(used.size(), map.count);
+}
+
+TEST(PdesRegionMapTest, LookaheadIsMinCutDelayAndPositive) {
+  util::Rng rng(42);
+  const auto topo = topo::make_random_graph(300, 450, rng);
+  const RegionMap map = partition_regions(topo, 4);
+  if (map.count == 1) {
+    EXPECT_TRUE(std::isinf(map.lookahead));
+    return;
+  }
+  EXPECT_GT(map.lookahead, 0.0);
+  EXPECT_DOUBLE_EQ(map.lookahead, cut_lookahead(topo, map));
+}
+
+TEST(PdesRegionMapTest, DeterministicForSameTopology) {
+  const auto topo = topo::make_bounded_degree_tree(400, 4);
+  const RegionMap a = partition_regions(topo, 5);
+  const RegionMap b = partition_regions(topo, 5);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.of, b.of);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+}
+
+TEST(PdesRegionMapTest, RegionsAreReasonablyBalanced) {
+  const auto topo = topo::make_bounded_degree_tree(1024, 4);
+  const RegionMap map = partition_regions(topo, 8);
+  ASSERT_GE(map.count, 2u);
+  std::vector<std::size_t> sizes(map.count, 0);
+  for (NodeId n = 0; n < topo.node_count(); ++n) ++sizes[map.region_of(n)];
+  const std::size_t biggest = *std::max_element(sizes.begin(), sizes.end());
+  // The growth cap is ceil(n / seeds); allow slack for leftover attachment.
+  EXPECT_LE(biggest, 2 * (topo.node_count() / map.count + 1));
+}
+
+TEST(PdesRegionMapTest, TinyTopologyDegeneratesToOneRegion) {
+  const auto topo = topo::make_chain(1);
+  const RegionMap map = partition_regions(topo, 4);
+  EXPECT_EQ(map.count, 1u);
+}
+
+TEST(PdesRegionMapTest, DisconnectedComponentsAllAssigned) {
+  // Two isolated cliques: every node still lands in a valid region.
+  Topology topo(6);
+  topo.add_link(0, 1, 1.0);
+  topo.add_link(1, 2, 1.0);
+  topo.add_link(3, 4, 1.0);
+  topo.add_link(4, 5, 1.0);
+  const RegionMap map = partition_regions(topo, 2);
+  for (NodeId n = 0; n < 6; ++n) ASSERT_LT(map.region_of(n), map.count);
+}
+
+}  // namespace
+}  // namespace srm::net
