@@ -14,7 +14,9 @@
 // scripts/check_docs.py).
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
 
 #include "fault/checker.h"
 #include "fault/injector.h"
@@ -22,6 +24,7 @@
 #include "harness/conformance.h"
 #include "harness/fault_scenarios.h"
 #include "harness/loss_round.h"
+#include "srm/fec/session.h"
 #include "harness/replication.h"
 #include "harness/scenario.h"
 #include "harness/session.h"
@@ -56,6 +59,10 @@ Flags (defaults in brackets):
   --trace         write a structured trace to this file     [off]
   --trace-mask    categories: sim,net,srm,fault | all | none  [srm]
   --trace-format  jsonl | binary                            [jsonl]
+  --fec           generation-framed coded repair: XOR/GF(256)
+                  parity ADUs with a loss-adaptive budget
+                  (ARCHITECTURE.md §11)                     [false]
+  --fec-max-k     parity-budget ceiling per generation (1-4) [4]
   --faults        fault-plan file: link churn, partitions,
                   membership dynamics, bursty loss
                   (format: ARCHITECTURE.md)                 [off]
@@ -179,6 +186,13 @@ int main(int argc, char** argv) {
   const auto kernel_regions =
       static_cast<std::uint32_t>(flags.get_int("kernel-regions", 0));
   const bool pdes_verify = flags.get_bool("pdes-verify", false);
+  const bool fec = flags.get_bool("fec", false);
+  const auto fec_max_k =
+      static_cast<std::size_t>(flags.get_int("fec-max-k", 4));
+  if (fec && (fec_max_k < 1 || fec_max_k > fec::kMaxParity)) {
+    std::cerr << "srmsim: --fec-max-k must be in [1, 4]\n";
+    return 1;
+  }
 
   fault::FaultPlan fault_plan;
   if (!faults_path.empty()) {
@@ -215,10 +229,16 @@ int main(int argc, char** argv) {
   cfg.timers.d2 = flags.get_double("d2", lg);
   cfg.backoff_factor = flags.get_double("backoff", 3.0);
   cfg.adaptive.enabled = flags.get_bool("adaptive", false);
+  cfg.fec.enabled = fec;
+  cfg.fec.max_k = fec_max_k;
 
   std::cout << "srmsim: " << kind << " with " << built.topo.node_count()
             << " nodes, " << member_count << " members, seed " << seed
-            << (cfg.adaptive.enabled ? ", adaptive timers" : "") << "\n";
+            << (cfg.adaptive.enabled ? ", adaptive timers" : "")
+            << (fec ? ", coded repair (max K " + std::to_string(fec_max_k) +
+                          ")"
+                    : "")
+            << "\n";
 
   if (pdes_verify) {
     // Run the identical scenario on both kernels and diff everything the
@@ -248,10 +268,36 @@ int main(int argc, char** argv) {
       rspec.source_node = src;
       rspec.congested = cong;
       rspec.page = PageId{static_cast<SourceId>(src), 0};
+      // Coded repair composes with the verify: one FecSession per member,
+      // the round's sends routed through the source's session.  Adaptive-K
+      // transitions are count-based, so both kernels see the same budget.
+      std::unordered_map<net::NodeId, std::unique_ptr<fec::FecSession>>
+          fec_sessions;
+      if (fec) {
+        for (net::NodeId m : members) {
+          fec_sessions.emplace(m, std::make_unique<fec::FecSession>(
+                                      session.agent_at(m), cfg.fec));
+        }
+        rspec.send_fn = [&fec_sessions](SrmAgent& agent, const PageId& page,
+                                        Payload payload) {
+          return fec_sessions.at(agent.node())->send(page,
+                                                     std::move(payload));
+        };
+      }
       ModeResult mr;
+      SeqNo next_seq = 0;
       for (int r = 0; r < rounds; ++r) {
-        mr.rounds.push_back(
-            harness::run_loss_round(session, rspec, static_cast<SeqNo>(r * 2)));
+        mr.rounds.push_back(harness::run_loss_round(session, rspec, next_seq));
+        if (fec) {
+          // Parity ADUs consume sequence numbers, so the next round's
+          // dropped seq is whatever the source's stream advanced to.
+          const SrmAgent& agent = session.agent_at(src);
+          const auto adv = agent.advertised_max(
+              StreamKey{agent.id(), rspec.page});
+          next_seq = adv ? *adv + 1 : next_seq + 2;
+        } else {
+          next_seq += 2;
+        }
       }
       mr.stats = session.network_stats();
       return mr;
@@ -390,13 +436,50 @@ int main(int argc, char** argv) {
     session.set_tracer(&tracer);
   }
 
+  // Coded repair: one FecSession per member, layered over each agent's
+  // AppHooks.  Membership churn (below) keeps the map in step with the
+  // session, and the fault injector's epoch observer floors every budget
+  // during Gilbert-Elliott bursts.
+  std::unordered_map<net::NodeId, std::unique_ptr<fec::FecSession>>
+      fec_sessions;
+  bool burst_epoch_now = false;
+  const auto add_fec_session = [&](net::NodeId node) {
+    auto fs = std::make_unique<fec::FecSession>(session.agent_at(node),
+                                                cfg.fec);
+    if (burst_epoch_now) fs->set_burst_epoch(true);
+    fec_sessions[node] = std::move(fs);
+  };
+  if (fec) {
+    for (net::NodeId m : session.member_nodes()) add_fec_session(m);
+  }
+
   // Fault injection: arm the plan before the first round.
   std::unique_ptr<fault::FaultInjector> injector;
   if (!fault_plan.empty()) {
     injector = std::make_unique<fault::FaultInjector>(
         session.queue(), session.mutable_topology(), session.network(),
         std::move(fault_plan), session.rng().fork());
-    injector->set_membership_hooks(harness::membership_hooks(session));
+    fault::MembershipHooks membership = harness::membership_hooks(session);
+    if (fec) {
+      // Keep the FEC layer in step with churn: a departing member's
+      // FecSession must die before its agent, and a (re)joining member gets
+      // a fresh one over the new agent's hooks.
+      auto inner = std::move(membership);
+      membership.join = [&, inner](net::NodeId node) {
+        if (inner.join) inner.join(node);
+        add_fec_session(node);
+      };
+      membership.leave = [&, inner](net::NodeId node, bool graceful) {
+        fec_sessions.erase(node);
+        if (inner.leave) inner.leave(node, graceful);
+      };
+      injector->set_epoch_observer(
+          [&](bool active, const net::GilbertElliottDrop::Params&) {
+            burst_epoch_now = active;
+            for (auto& [node, fs] : fec_sessions) fs->set_burst_epoch(active);
+          });
+    }
+    injector->set_membership_hooks(std::move(membership));
     // Under the parallel kernel the injector's events (global queue) must
     // emit into the global trace lane so they join the deterministic merge.
     injector->set_tracer(session.control_tracer());
@@ -427,12 +510,36 @@ int main(int argc, char** argv) {
   spec.source_node = source;
   spec.congested = congested;
   spec.page = PageId{static_cast<SourceId>(source), 0};
+  if (fec) {
+    spec.send_fn = [&fec_sessions](SrmAgent& agent, const PageId& page,
+                                   Payload payload) {
+      return fec_sessions.at(agent.node())->send(page, std::move(payload));
+    };
+  }
+  // With coded repair, parity ADUs consume sequence numbers, so each
+  // round's dropped seq comes from where the source's stream actually is
+  // rather than the fixed 2-per-round arithmetic.
+  const auto next_round_seq = [&](SeqNo fallback) -> SeqNo {
+    if (!fec) return fallback;
+    try {
+      const SrmAgent& agent = session.agent_at(source);
+      const auto adv =
+          agent.advertised_max(StreamKey{agent.id(), spec.page});
+      return adv ? *adv + 1 : fallback;
+    } catch (const std::exception&) {
+      return fallback;  // source currently churned out; round will report it
+    }
+  };
   std::size_t total_requests = 0;
   std::size_t total_repairs = 0;
+  SeqNo fec_seq = 0;
   for (int r = 0; r < rounds; ++r) {
     harness::RoundResult res;
+    const SeqNo round_seq =
+        fec ? (fec_seq = next_round_seq(fec_seq))
+            : static_cast<SeqNo>(r) * 2;
     try {
-      res = harness::run_loss_round(session, spec, r * 2);
+      res = harness::run_loss_round(session, spec, round_seq);
     } catch (const std::exception& e) {
       // With a fault plan active a round can be unrunnable (the source
       // crashed, the congested link is already down, the partition ate the

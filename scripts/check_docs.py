@@ -6,6 +6,9 @@
 2. srmsim flag table: every flag printed by `srmsim --help` must appear in
    README.md's "## srmsim flags" table, and vice versa — the two are
    mirrors (the authoritative table is kUsage in examples/srmsim.cpp).
+3. ARCHITECTURE.md section references: every "ARCHITECTURE.md §N" citation
+   in the markdown files and in src/ and examples/ sources must name a
+   section header that actually exists ("## N. ...").
 
 Usage: scripts/check_docs.py [--srmsim PATH_TO_SRMSIM_BINARY]
 Exits non-zero with a report on any failure.
@@ -73,6 +76,28 @@ def check_srmsim_flags(srmsim):
     return errors
 
 
+SECTION_REF_RE = re.compile(r"ARCHITECTURE\.md\s+§(\d+)")
+SECTION_HEADER_RE = re.compile(r"^## (\d+)\.", re.MULTILINE)
+
+
+def check_section_refs():
+    arch = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    sections = set(SECTION_HEADER_RE.findall(arch))
+    sources = list(MD_FILES)
+    for root in ("src", "examples", "bench", "tests"):
+        sources += sorted((REPO / root).rglob("*.h"))
+        sources += sorted((REPO / root).rglob("*.cpp"))
+    errors = []
+    for path in sources:
+        text = path.read_text(encoding="utf-8")
+        for num in SECTION_REF_RE.findall(text):
+            if num not in sections:
+                rel = path.relative_to(REPO)
+                errors.append(f"{rel}: cites ARCHITECTURE.md §{num}, "
+                              f"which has no matching '## {num}.' header")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--srmsim", default=None,
@@ -81,6 +106,7 @@ def main():
     args = parser.parse_args()
 
     errors = check_links()
+    errors += check_section_refs()
     if args.srmsim:
         errors += check_srmsim_flags(args.srmsim)
 

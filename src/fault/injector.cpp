@@ -205,6 +205,7 @@ void FaultInjector::apply(const FaultEvent& event) {
         open_disruption();
       }
       ++stats_.burst_epochs;
+      if (epoch_observer_) epoch_observer_(true, event.burst);
       emit(trace::EventType::kFaultBurstOn, 0,
            static_cast<std::uint64_t>(event.burst.loss_good * 1e6),
            static_cast<std::uint64_t>(event.burst.loss_bad * 1e6), 0,
@@ -216,6 +217,7 @@ void FaultInjector::apply(const FaultEvent& event) {
         network_->set_fault_drop_policy(nullptr);
         burst_active_ = false;
         close_disruption();
+        if (epoch_observer_) epoch_observer_(false, {});
       }
       emit(trace::EventType::kFaultBurstOff, 0);
       break;

@@ -95,6 +95,16 @@ class FaultInjector {
   void set_membership_hooks(MembershipHooks hooks) {
     hooks_ = std::move(hooks);
   }
+  // Observes Gilbert-Elliott burst epochs as they are applied (burst_on ->
+  // active=true with the epoch's parameters, burst_off -> active=false).
+  // The FEC layer uses this to floor its parity budget during bursts
+  // (ARCHITECTURE.md §11); deterministic because plan application runs on
+  // the serialized event queue in plan order.
+  using EpochObserver =
+      std::function<void(bool active, const net::GilbertElliottDrop::Params&)>;
+  void set_epoch_observer(EpochObserver observer) {
+    epoch_observer_ = std::move(observer);
+  }
   // Never pass nullptr; &trace::Tracer::null() detaches.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
@@ -132,6 +142,7 @@ class FaultInjector {
   FaultPlan plan_;
   util::Rng rng_;
   MembershipHooks hooks_;
+  EpochObserver epoch_observer_;
   trace::Tracer* tracer_ = &trace::Tracer::null();
   Stats stats_;
 

@@ -104,13 +104,17 @@ RoundResult run_loss_round(SimSession& session, const RoundSpec& spec,
       });
   net.set_drop_policy(drop);
 
+  const auto send = [&spec](SrmAgent& agent, Payload payload) {
+    return spec.send_fn ? spec.send_fn(agent, spec.page, std::move(payload))
+                        : agent.send_data(spec.page, std::move(payload));
+  };
   try {
-    const DataName sent = source.send_data(spec.page, Payload{0xAB});
+    const DataName sent = send(source, Payload{0xAB});
     if (sent != dropped) {
       throw std::logic_error("run_loss_round: unexpected sequence number");
     }
-    queue.schedule_after(spec.inter_packet_gap, [&source, &spec] {
-      source.send_data(spec.page, Payload{0xCD});
+    queue.schedule_after(spec.inter_packet_gap, [&source, &send] {
+      send(source, Payload{0xCD});
     });
     session.run();
 

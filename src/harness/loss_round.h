@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "harness/scenario.h"
 #include "harness/session.h"
+#include "srm/messages.h"
 #include "srm/names.h"
 
 namespace srm::harness {
@@ -19,6 +21,11 @@ struct RoundSpec {
   DirectedLink congested{0, 0};    // directed link that drops the packet
   PageId page{0, 0};
   sim::Time inter_packet_gap = 1.0;  // between the dropped and next packet
+  // How the source transmits (default: SrmAgent::send_data).  Framing
+  // layers (srm/fec's FecSession) route both of the round's sends through
+  // their own send path here; the returned name must still carry the seq
+  // the runner expects to drop.
+  std::function<DataName(SrmAgent&, const PageId&, Payload)> send_fn;
 };
 
 struct RoundResult {

@@ -597,6 +597,8 @@ void SrmAgent::handle_request(const RequestMessage& msg,
 
   // The request also reveals stream extent beyond this one ADU.
   note_stream_advance(stream_of(name), name.seq);
+
+  if (hooks_.on_request_heard) hooks_.on_request_heard(name, msg.requestor());
 }
 
 // ---------------------------------------------------------------------------

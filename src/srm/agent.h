@@ -95,6 +95,11 @@ class SrmAgent : public net::PacketSink {
     // Invoked when a loss is first detected (before the request timer is
     // set).  Extensions use this to track loss neighborhoods (Sec. VII-B).
     std::function<void(const DataName&)> on_loss_detected;
+    // Invoked for every repair request heard from another member (after the
+    // agent's own processing).  The FEC layer (srm/fec) treats requests for
+    // a stream this member originates as loss evidence feeding the adaptive
+    // parity budget.
+    std::function<void(const DataName&, SourceId requestor)> on_request_heard;
     // Invoked for packets whose payload is not an SRM message type, letting
     // extensions (e.g. local-recovery group invitations) define their own
     // message types without changes to the agent.

@@ -105,6 +105,23 @@ struct LocalRecoveryConfig {
   bool two_step = true;
 };
 
+// Coded repair (srm/fec; ARCHITECTURE.md §11): generation size and the
+// adaptive parity-budget hysteresis.  The budget knobs mirror
+// fec::BudgetConfig; FecSession copies them across so the whole FEC layer is
+// configured from the one SrmConfig the harness already threads everywhere.
+struct FecConfig {
+  bool enabled = false;
+  // Data ADUs per generation.  Small generations bound reconstruction
+  // latency (a parity only helps once the generation seals); the default
+  // matches the loss-round harness's two sends per round.
+  std::size_t generation_size = 2;
+  std::size_t max_k = 4;              // ceiling on parity ADUs (<= 4)
+  std::size_t initial_k = 1;          // starting budget (XOR fast path)
+  std::size_t raise_threshold = 2;    // evidence per generation to raise K
+  std::size_t decay_after_quiet = 3;  // quiet generations before K decays
+  std::size_t burst_floor = 2;        // min K during a Gilbert-Elliott burst
+};
+
 struct RateLimitConfig {
   bool enabled = false;
   double tokens_per_second = 1e9;  // token refill rate (bytes/second)
@@ -117,6 +134,7 @@ struct SrmConfig {
   SessionConfig session;
   LocalRecoveryConfig local_recovery;
   RateLimitConfig rate_limit;
+  FecConfig fec;
 
   DistanceMode distance_mode = DistanceMode::kOracle;
   // Distance assumed for members we have no estimate for (kEstimated mode).

@@ -1,0 +1,84 @@
+#include "srm/fec/block_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace srm::fec {
+namespace {
+
+// Both schemes are linear codes parity_j = sum_i c(j,i) * data_i; they only
+// differ in the coefficient matrix (all-ones for XOR, Cauchy for GF(256)).
+std::uint8_t coeff(std::uint8_t scheme, std::size_t j, std::size_t i) {
+  return scheme == kSchemeXor ? std::uint8_t{1} : cauchy_coeff(j, i);
+}
+
+}  // namespace
+
+std::uint8_t scheme_for(std::size_t k) {
+  return k <= 1 ? kSchemeXor : kSchemeGf256;
+}
+
+std::size_t padded_len(const std::vector<Symbol>& data) {
+  std::size_t width = 0;
+  for (const Symbol& s : data) width = std::max(width, s.size());
+  return width;
+}
+
+std::vector<Symbol> encode(const std::vector<Symbol>& data, std::size_t k) {
+  if (k == 0 || k > kMaxParity) throw std::domain_error("encode: bad k");
+  if (data.empty() || data.size() > kMaxDataColumns)
+    throw std::domain_error("encode: bad n");
+  const std::size_t width = padded_len(data);
+  const std::uint8_t scheme = scheme_for(k);
+  std::vector<Symbol> parities(k, Symbol(width, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < k; ++j)
+      gf_mul_add(coeff(scheme, j, i), data[i].data(), parities[j].data(),
+                 data[i].size());
+  }
+  return parities;
+}
+
+std::vector<std::pair<std::size_t, Symbol>> decode(
+    std::uint8_t scheme, const std::vector<const Symbol*>& data,
+    const std::vector<std::pair<std::size_t, Symbol>>& parities,
+    std::size_t width) {
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (data[i] == nullptr) missing.push_back(i);
+  if (missing.empty()) return {};
+  const std::size_t e = missing.size();
+  if (e > parities.size() || data.size() > kMaxDataColumns) return {};
+  if (scheme != kSchemeXor && scheme != kSchemeGf256) return {};
+
+  // Any e surviving parities suffice (Cauchy submatrices are invertible;
+  // with XOR e is necessarily 1), so take the first e.
+  std::vector<std::vector<std::uint8_t>> a(e, std::vector<std::uint8_t>(e));
+  std::vector<std::vector<std::uint8_t>> rhs(e,
+                                             std::vector<std::uint8_t>(width));
+  for (std::size_t r = 0; r < e; ++r) {
+    const std::size_t j = parities[r].first;
+    if (j >= kMaxParityRows || parities[r].second.size() != width) return {};
+    // rhs_r = parity_j minus every present symbol's contribution; what is
+    // left equals the missing symbols' combined contribution.
+    rhs[r] = parities[r].second;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == nullptr) continue;
+      if (data[i]->size() > width) return {};
+      // Present bodies may be shorter than the padded width; the implicit
+      // zero suffix contributes nothing, so only their real bytes fold in.
+      gf_mul_add(coeff(scheme, j, i), data[i]->data(), rhs[r].data(),
+                 data[i]->size());
+    }
+    for (std::size_t c = 0; c < e; ++c) a[r][c] = coeff(scheme, j, missing[c]);
+  }
+  if (!gf_solve(a, rhs, width)) return {};
+
+  std::vector<std::pair<std::size_t, Symbol>> out;
+  out.reserve(e);
+  for (std::size_t c = 0; c < e; ++c)
+    out.emplace_back(missing[c], std::move(rhs[c]));
+  return out;
+}
+
+}  // namespace srm::fec

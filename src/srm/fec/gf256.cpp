@@ -1,0 +1,118 @@
+#include "srm/fec/gf256.h"
+
+#include <stdexcept>
+
+namespace srm::fec {
+namespace {
+
+// x^8 + x^4 + x^3 + x^2 + 1: the standard Reed-Solomon reduction polynomial.
+constexpr unsigned kPoly = 0x11D;
+
+struct Tables {
+  std::array<std::uint8_t, 256> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    exp[255] = exp[0];  // alpha^255 == alpha^0 == 1; lets lookups skip a mod
+    log[0] = 0;         // undefined; gf_mul/gf_inv special-case zero
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& gf_exp_table() { return tables().exp; }
+const std::array<std::uint8_t, 256>& gf_log_table() { return tables().log; }
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  unsigned s = t.log[a] + t.log[b];
+  if (s >= 255) s -= 255;
+  return t.exp[s];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("gf_inv(0)");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("gf_div by 0");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  unsigned s = t.log[a] + 255 - t.log[b];
+  if (s >= 255) s -= 255;
+  return t.exp[s];
+}
+
+std::uint8_t cauchy_coeff(std::size_t j, std::size_t i) {
+  if (j >= kMaxParityRows || i >= kMaxDataColumns)
+    throw std::domain_error("cauchy_coeff out of range");
+  const std::uint8_t xj = static_cast<std::uint8_t>(j);
+  const std::uint8_t yi = static_cast<std::uint8_t>(kCauchyDataOffset + i);
+  return gf_inv(static_cast<std::uint8_t>(xj ^ yi));
+}
+
+void gf_mul_add(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                std::size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t b = 0; b < len; ++b) dst[b] ^= src[b];
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned log_c = t.log[c];
+  for (std::size_t b = 0; b < len; ++b) {
+    const std::uint8_t s = src[b];
+    if (s == 0) continue;
+    unsigned e = log_c + t.log[s];
+    if (e >= 255) e -= 255;
+    dst[b] ^= t.exp[e];
+  }
+}
+
+bool gf_solve(std::vector<std::vector<std::uint8_t>>& a,
+              std::vector<std::vector<std::uint8_t>>& b, std::size_t width) {
+  const std::size_t e = a.size();
+  for (std::size_t col = 0; col < e; ++col) {
+    // Partial pivot: any nonzero entry works over a field.
+    std::size_t pivot = col;
+    while (pivot < e && a[pivot][col] == 0) ++pivot;
+    if (pivot == e) return false;
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      std::swap(b[pivot], b[col]);
+    }
+    // Normalize the pivot row so a[col][col] == 1.
+    const std::uint8_t inv = gf_inv(a[col][col]);
+    if (inv != 1) {
+      for (std::size_t c = col; c < e; ++c) a[col][c] = gf_mul(a[col][c], inv);
+      for (std::size_t w = 0; w < width; ++w) b[col][w] = gf_mul(b[col][w], inv);
+    }
+    // Eliminate the column everywhere else (Gauss-Jordan: no back-subst pass).
+    for (std::size_t row = 0; row < e; ++row) {
+      if (row == col) continue;
+      const std::uint8_t f = a[row][col];
+      if (f == 0) continue;
+      for (std::size_t c = col; c < e; ++c)
+        a[row][c] = static_cast<std::uint8_t>(a[row][c] ^ gf_mul(f, a[col][c]));
+      gf_mul_add(f, b[col].data(), b[row].data(), width);
+    }
+  }
+  return true;
+}
+
+}  // namespace srm::fec

@@ -31,6 +31,11 @@ struct AgentMetrics {
   std::uint64_t recoveries = 0;            // losses repaired
   std::uint64_t recovery_abandoned = 0;    // gave up after max backoffs
 
+  // Coded repair (srm/fec): parity ADUs this agent originated and losses it
+  // reconstructed locally from parity instead of requesting.
+  std::uint64_t fec_parity_sent = 0;
+  std::uint64_t fec_reconstructions = 0;
+
   // Per-recovery delay: loss detection -> first repair received, in seconds
   // and in units of this member's RTT to the data's original source.
   util::Samples recovery_delay_seconds;

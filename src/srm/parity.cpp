@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "srm/fec/gf256.h"
+
 namespace srm::parity {
 
 namespace {
@@ -57,9 +59,11 @@ bool ParitySession::is_parity_frame(const Payload& frame) {
 
 Payload ParitySession::xor_frames(const std::vector<const Payload*>& frames,
                                   std::size_t length) {
+  // Scheme 0 of the block-FEC engine: every symbol folded in with
+  // coefficient 1 (XOR), shorter frames implicitly zero-padded.
   Payload out(length, 0);
   for (const Payload* f : frames) {
-    for (std::size_t i = 0; i < f->size(); ++i) out[i] ^= (*f)[i];
+    fec::gf_mul_add(1, f->data(), out.data(), std::min(length, f->size()));
   }
   return out;
 }

@@ -1,9 +1,10 @@
-// Parity-based loss repair layered over SRM (the FEC direction Sec. VII-B
-// points to via Nonnenmacher/Biersack/Towsley's parity-based loss recovery).
+// XOR parity repair layered over SRM — the fixed-layout ancestor of the
+// generation-framed block-FEC engine in srm/fec/ (ARCHITECTURE.md §11).
 //
-// In true ALF fashion this lives entirely *above* the SRM agent: the
-// application's byte stream is framed so that every (k+1)-th ADU of a stream
-// is the XOR parity of the preceding k data ADUs.  A receiver holding any k
+// This is the K==1, scheme-0 code of the coded-repair stack in its simplest
+// possible framing: every (k+1)-th ADU of a stream is the XOR parity of the
+// preceding k data ADUs, and block membership is implied by *sequence
+// arithmetic* rather than carried in the frames.  A receiver holding any k
 // of a block's k+1 ADUs reconstructs the missing one locally and feeds it
 // back to the agent with supply_data(), which cancels the pending repair
 // request — transient single losses inside a block are repaired with zero
@@ -11,13 +12,23 @@
 // block) fall through to SRM's normal request/repair machinery, and parity
 // ADUs themselves are ordinary ADUs that SRM will repair if lost.
 //
-// Block layout on a stream with block size k:
+// Block layout on a stream with block size k (positional — every frame's
+// role is derived from its seq, which is why this layer cannot change K
+// mid-stream; contrast the explicit [gen, idx] framing of fec::FecSession,
+// which carries the generation geometry on each parity frame precisely so
+// the budget can adapt per generation):
 //   seq b*(k+1) .. b*(k+1)+k-1   data ADUs of block b
 //   seq b*(k+1)+k                parity ADU of block b
 //
 // Frame format (the application payload handed to SrmAgent):
 //   data:   [kDataTag]  [u32 length] [bytes...]
 //   parity: [kParityTag][u32 max-framed-length] [xor of padded data frames]
+//
+// The XOR math itself is the engine's scheme-0 path (fec::encode with K=1,
+// i.e. gf256.h's gf_mul_add with coefficient 1); this wrapper keeps the
+// legacy frame format byte-for-byte stable for existing streams and tests.
+// New code should prefer fec::FecSession, which generalizes this layer to
+// K in [0..4] parities per generation with a loss-adaptive budget.
 #pragma once
 
 #include <cstdint>

@@ -20,6 +20,13 @@ bool names_adu(EventType type) {
     case EventType::kSrmAdaptReq:
     case EventType::kSrmAdaptRep:
       return false;
+    // Budget transitions name a stream (d is unused) and parity sends name
+    // parity ADUs that are not under recovery; folding either would create
+    // spurious stories.  Only fec_reconstruct joins the lost ADU's story.
+    case EventType::kSrmFecBudgetRaise:
+    case EventType::kSrmFecBudgetDecay:
+    case EventType::kSrmFecParity:
+      return false;
     default:
       return category_of(type) == Category::kSrm;
   }
@@ -86,6 +93,9 @@ RecoveryTimeline RecoveryTimeline::fold(const std::vector<Event>& events) {
         ++story.recoveries;
         story.last_recovery_time = ev.t;
         break;
+      case EventType::kSrmFecReconstruct:
+        ++story.fec_reconstructions;
+        break;
       case EventType::kSrmAbandoned:
         ++story.abandoned;
         break;
@@ -140,6 +150,12 @@ std::string RecoveryTimeline::summary() const {
       out += ')';
     }
     out += "; " + std::to_string(s.recoveries) + " recovered";
+    // Rendered only when coded repair actually fired, so summaries of
+    // non-FEC traces stay byte-identical to the pre-FEC format.
+    if (s.fec_reconstructions > 0) {
+      out += "; " + std::to_string(s.fec_reconstructions) +
+             " fec-reconstructed";
+    }
     if (s.abandoned > 0) {
       out += "; " + std::to_string(s.abandoned) + " abandoned";
     }

@@ -88,6 +88,10 @@ struct RecoveryStory {
   std::size_t recoveries = 0;          // members whose pending request closed
   std::size_t abandoned = 0;
   double last_recovery_time = 0.0;
+  // Members that rebuilt this ADU locally from parity (srm/fec) instead of
+  // waiting for a repair; a subset of `recoveries` when a request was
+  // already pending, extra otherwise.
+  std::size_t fec_reconstructions = 0;
 
   // Suppression order: the actors of req_backoff and rep_suppress events in
   // trace order — the deterministic-suppression fingerprint of the round.

@@ -69,6 +69,14 @@ const std::vector<EventSpec>& specs() {
        nullptr, nullptr, nullptr, "d1", "d2"},
       {EventType::kSrmScopeEscalate, Category::kSrm, "scope_escalate", "src",
        "page_c", "page_n", "seq", "ttl", nullptr, nullptr},
+      {EventType::kSrmFecBudgetRaise, Category::kSrm, "fec_budget_raise",
+       "src", "page_c", "page_n", nullptr, "k_new", "k_old", "evidence"},
+      {EventType::kSrmFecBudgetDecay, Category::kSrm, "fec_budget_decay",
+       "src", "page_c", "page_n", nullptr, "k_new", "k_old", "burst"},
+      {EventType::kSrmFecParity, Category::kSrm, "fec_parity_send", "src",
+       "page_c", "page_n", "seq", "gen", "scheme", "k"},
+      {EventType::kSrmFecReconstruct, Category::kSrm, "fec_reconstruct",
+       "src", "page_c", "page_n", "seq", "gen", "scheme", "erasures"},
 
       {EventType::kFaultLinkDown, Category::kFault, "link_down", "link",
        "end_a", "end_b", nullptr, nullptr, nullptr, nullptr},

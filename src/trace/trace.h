@@ -94,6 +94,14 @@ enum class EventType : std::uint16_t {
   kSrmAdaptReq = 33,        // x=c1, y=c2 (after an update)
   kSrmAdaptRep = 34,        // x=d1, y=d2
   kSrmScopeEscalate = 35,   // e=ttl used after escalation
+  // --- srm coded repair (srm/fec; ARCHITECTURE.md §11).  Budget events
+  // name the stream (a=src, b=page_c, c=page_n; d unused); parity and
+  // reconstruct events name an ADU per the usual convention ---
+  kSrmFecBudgetRaise = 36,  // e=k_new, x=k_old, y=loss evidence count
+  kSrmFecBudgetDecay = 37,  // e=k_new, x=k_old, y=burst epoch active (0/1)
+  kSrmFecParity = 38,       // d=parity seq, e=generation, x=scheme, y=k
+  kSrmFecReconstruct = 39,  // d=recovered seq, e=generation, x=scheme,
+                            // y=erasures repaired in this decode
   // --- fault (injected network dynamics); actor is the affected node for
   // membership events, 0 otherwise ---
   kFaultLinkDown = 40,   // a=link, b=end_a, c=end_b
