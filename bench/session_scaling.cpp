@@ -15,11 +15,43 @@
 // the sender's state report and its echo table); wall-clock throughput at
 // G in {50, 200, 500} is recorded into BENCH_session.json so the large-
 // session fast path can be tracked across PRs (see EXPERIMENTS.md).
+//
+// Panel 4 (hierarchy as the primary path; ARCHITECTURE.md §12): two-level
+// reporting at G in {5000, 20000, 50000} (--hierarchy-gs overrides).  Each
+// run partitions a tree of ~sqrt(G) LANs into that many areas, lets the
+// coordinator drive TTL-scoped local reports plus representative global
+// reports, and measures sustained session messages per wall-clock second
+// over two report intervals.  A flat-path baseline at G = 5000 (sampled
+// senders, so its throughput is if anything overestimated) anchors the
+// speedup; the bench exits non-zero if G = 20000 does not sustain at least
+// 5x the flat baseline.  Results land in BENCH_session.json's `hierarchy`
+// section (gated by scripts/check_bench.py); wheel-occupancy keys record
+// the areas-not-members heap-growth evidence.
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "srm/session_hierarchy.h"
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace srm;
@@ -61,8 +93,16 @@ int main(int argc, char** argv) {
              {5, 5}, {10, 5}, {10, 10}}) {
       auto run = [&](bool hierarchical) -> std::uint64_t {
         auto tl = topo::make_tree_of_lans(lans, 3, hosts);
+        SrmConfig cfg;
+        cfg.session.enabled = false;  // both arms drive reporting below
+        if (hierarchical) {
+          cfg.hierarchy.enabled = true;
+          cfg.hierarchy.local_ttl = 2;
+          cfg.hierarchy.report_interval = 10.0;
+          cfg.hierarchy.areas = static_cast<std::uint32_t>(lans);
+        }
         harness::SimSession session(std::move(tl.topo), tl.workstations,
-                                    {SrmConfig{}, seed, 1});
+                                    {cfg, seed, 1});
         std::uint64_t backbone_rx = 0;
         session.network().set_delivery_observer(
             [&](const net::Packet& p, const net::DeliveryInfo& info) {
@@ -71,19 +111,12 @@ int main(int argc, char** argv) {
                 ++backbone_rx;
               }
             });
-        util::Rng rng(seed ^ 0xBEEF);
-        HierarchyConfig hcfg;
-        hcfg.local_ttl = 2;
-        hcfg.report_interval = 10.0;
-        std::vector<std::unique_ptr<SessionHierarchy>> hier;
         if (hierarchical) {
-          session.for_each_agent([&](SrmAgent& a) {
-            hier.push_back(
-                std::make_unique<SessionHierarchy>(a, hcfg, rng.fork()));
-            hier.back()->start();
-          });
-          session.queue().run_until(500.0);
+          session.run_until(500.0);
         } else {
+          // Flat: every member reports globally each interval (same mean
+          // rate as the hierarchy's report_interval above).
+          util::Rng rng(seed ^ 0xBEEF);
           for (int round = 0; round < 50; ++round) {
             session.for_each_agent([&](SrmAgent& a) {
               session.queue().schedule_after(
@@ -167,6 +200,127 @@ int main(int argc, char** argv) {
       json.set("rounds", static_cast<double>(rounds));
       json.save();
       std::cout << "\n[perf] " << json_path << " updated (session_scaling)\n";
+    }
+  }
+
+  {
+    const std::vector<std::size_t> gs =
+        parse_size_list(flags.get_string("hierarchy-gs", "5000,20000,50000"));
+    if (gs.empty()) return 0;
+    std::cout << "\nhierarchy as the primary path: two-level reporting at "
+                 "G = 5k-50k\n(local reports TTL-scoped to the area, one "
+                 "representative per area reports\nglobally; throughput "
+                 "measured over two report intervals after one warm-up)\n";
+    util::PerfJson json(json_path, "hierarchy");
+
+    // Flat-path anchor at G = 5000 on the same topology family.  Only 250
+    // sampled members send, so echo tables stay small and the measured
+    // per-message cost UNDERestimates the true all-senders steady state —
+    // the speedup below is therefore conservative.
+    double flat_rate = 0.0;
+    {
+      const std::size_t g = 5000;
+      const std::size_t senders = 250;
+      const auto areas = static_cast<int>(std::lround(
+          std::sqrt(static_cast<double>(g))));
+      const int hosts = static_cast<int>((g + areas - 1) / areas);
+      auto tl = topo::make_tree_of_lans(areas, 4, hosts);
+      std::vector<net::NodeId> members(tl.workstations.begin(),
+                                       tl.workstations.begin() + g);
+      SrmConfig cfg;
+      cfg.distance_mode = DistanceMode::kEstimated;
+      cfg.session.enabled = false;  // rounds are driven explicitly below
+      harness::SimSession session(std::move(tl.topo), members,
+                                  {cfg, seed, 1});
+      const std::size_t stride = g / senders;
+      auto run_round = [&](double base) {
+        for (std::size_t i = 0; i < senders; ++i) {
+          SrmAgent& a = session.agent(i * stride);
+          session.queue().schedule_at(base + 0.01 * static_cast<double>(i),
+                                      [&a] { a.send_session_message(); });
+        }
+        session.queue().run();
+      };
+      run_round(0.0);  // warm: estimators intern every sampled sender
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        run_round(100.0 * static_cast<double>(r + 1));
+      }
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      flat_rate = static_cast<double>(senders) * rounds / wall.count();
+      std::cout << "flat baseline, G=5000 (" << senders << " sampled "
+                << "senders x " << rounds << " rounds): "
+                << util::Table::num(flat_rate, 0) << " msgs/s\n";
+      if (!json_path.empty()) {
+        json.set("flat5000_messages_per_second", flat_rate);
+        json.set("flat5000_wall_seconds", wall.count());
+      }
+    }
+
+    util::Table t({"G", "areas", "msgs (2 iv)", "wall (s)", "msgs/s",
+                   "wheel buckets", "wheel items", "vs flat5000"});
+    double g20000_rate = 0.0;
+    for (std::size_t g : gs) {
+      const auto areas = static_cast<std::size_t>(std::lround(
+          std::sqrt(static_cast<double>(g))));
+      const int hosts = static_cast<int>((g + areas - 1) / areas);
+      auto tl = topo::make_tree_of_lans(static_cast<int>(areas), 4, hosts);
+      std::vector<net::NodeId> members(tl.workstations.begin(),
+                                       tl.workstations.begin() + g);
+      SrmConfig cfg;
+      cfg.distance_mode = DistanceMode::kEstimated;
+      cfg.hierarchy.enabled = true;
+      cfg.hierarchy.local_ttl = 2;
+      cfg.hierarchy.report_interval = 10.0;
+      cfg.hierarchy.areas = static_cast<std::uint32_t>(areas);
+      harness::SimSession session(std::move(tl.topo), members,
+                                  {cfg, seed, 1});
+      const SessionHierarchy& hier = *session.hierarchy();
+
+      session.run_until(cfg.hierarchy.report_interval);  // warm-up interval
+      // Heap-occupancy evidence: every member holds a pending report, yet
+      // live heap entries stay bounded by areas x wheel buckets.
+      const std::size_t buckets = hier.pending_wheel_buckets();
+      const std::size_t items = hier.pending_wheel_items();
+      const std::uint64_t sent0 =
+          hier.local_reports_sent() + hier.global_reports_sent();
+
+      const auto start = std::chrono::steady_clock::now();
+      session.run_until(3.0 * cfg.hierarchy.report_interval);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      const double msgs = static_cast<double>(
+          hier.local_reports_sent() + hier.global_reports_sent() - sent0);
+      const double rate = msgs / wall.count();
+      if (g == 20000) g20000_rate = rate;
+      t.add_row({util::Table::num(g), util::Table::num(areas),
+                 util::Table::num(msgs, 0), util::Table::num(wall.count(), 3),
+                 util::Table::num(rate, 0), util::Table::num(buckets),
+                 util::Table::num(items),
+                 util::Table::num(rate / flat_rate, 1) + "x"});
+      if (!json_path.empty()) {
+        const std::string p = "g" + std::to_string(g) + "_";
+        json.set(p + "messages_per_second", rate);
+        json.set(p + "wall_seconds", wall.count());
+        json.set(p + "areas", static_cast<double>(areas));
+        json.set(p + "wheel_buckets", static_cast<double>(buckets));
+        json.set(p + "wheel_items", static_cast<double>(items));
+      }
+    }
+    t.print(std::cout);
+    if (!json_path.empty()) {
+      if (g20000_rate > 0.0) {
+        json.set("speedup_vs_flat5000", g20000_rate / flat_rate);
+      }
+      json.save();
+      std::cout << "\n[perf] " << json_path << " updated (hierarchy)\n";
+    }
+    if (g20000_rate > 0.0 && g20000_rate < 5.0 * flat_rate) {
+      std::cout << "FAIL: hierarchy at G=20000 sustained "
+                << util::Table::num(g20000_rate / flat_rate, 2)
+                << "x the flat G=5000 path (< 5x required)\n";
+      return 1;
     }
   }
   return 0;

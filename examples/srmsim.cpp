@@ -63,6 +63,13 @@ Flags (defaults in brackets):
                   parity ADUs with a loss-adaptive budget
                   (ARCHITECTURE.md §11)                     [false]
   --fec-max-k     parity-budget ceiling per generation (1-4) [4]
+  --hierarchy     hierarchical session messages: local areas
+                  with TTL-scoped reports and elected
+                  representatives (ARCHITECTURE.md §12);
+                  a warm-up runs before the loss rounds     [false]
+  --areas         local-area count for --hierarchy
+                  (0 = about sqrt(members))                 [0]
+  --local-ttl     TTL of --hierarchy local reports          [4]
   --faults        fault-plan file: link churn, partitions,
                   membership dynamics, bursty loss
                   (format: ARCHITECTURE.md)                 [off]
@@ -193,6 +200,13 @@ int main(int argc, char** argv) {
     std::cerr << "srmsim: --fec-max-k must be in [1, 4]\n";
     return 1;
   }
+  const bool hierarchy = flags.get_bool("hierarchy", false);
+  const auto hier_areas = static_cast<std::uint32_t>(flags.get_int("areas", 0));
+  const int local_ttl = static_cast<int>(flags.get_int("local-ttl", 4));
+  if (local_ttl < 1) {
+    std::cerr << "srmsim: --local-ttl must be >= 1\n";
+    return 1;
+  }
 
   fault::FaultPlan fault_plan;
   if (!faults_path.empty()) {
@@ -231,10 +245,14 @@ int main(int argc, char** argv) {
   cfg.adaptive.enabled = flags.get_bool("adaptive", false);
   cfg.fec.enabled = fec;
   cfg.fec.max_k = fec_max_k;
+  cfg.hierarchy.enabled = hierarchy;
+  cfg.hierarchy.areas = hier_areas;
+  cfg.hierarchy.local_ttl = local_ttl;
 
   std::cout << "srmsim: " << kind << " with " << built.topo.node_count()
             << " nodes, " << member_count << " members, seed " << seed
             << (cfg.adaptive.enabled ? ", adaptive timers" : "")
+            << (hierarchy ? ", hierarchical sessions" : "")
             << (fec ? ", coded repair (max K " + std::to_string(fec_max_k) +
                           ")"
                     : "")
@@ -258,6 +276,13 @@ int main(int argc, char** argv) {
       opts.kernel_threads = kthreads;
       opts.kernel_regions = kernel_regions;
       harness::SimSession session(net::Topology(built.topo), members, opts);
+      if (session.hierarchy() != nullptr) {
+        // Two-level reporting warms up identically on both kernels, so the
+        // stats diff below also covers hierarchy determinism; reporting
+        // then stops so the rounds drain the queue.
+        session.run_until(2.0 * cfg.hierarchy.report_interval);
+        session.hierarchy()->stop();
+      }
       // Same pick seed in both modes -> same source and congested link
       // (routing depends only on the topology, which is identical).
       util::Rng pick(seed * 2 + 1);
@@ -434,6 +459,30 @@ int main(int argc, char** argv) {
   if (tracer.sink() != nullptr) {
     tracer.set_mask(effective_mask);
     session.set_tracer(&tracer);
+  }
+
+  // Hierarchical sessions: let two report intervals elapse so every area
+  // has heard its members and elected a representative, print the steady
+  // state, then stop reporting so the loss rounds below drain the queue.
+  if (session.hierarchy() != nullptr) {
+    SessionHierarchy& hier = *session.hierarchy();
+    const double warm = 2.0 * cfg.hierarchy.report_interval;
+    session.run_until(warm);
+    std::size_t reps = 0;
+    for (std::size_t i = 0; i < session.member_count(); ++i) {
+      if (hier.is_representative(session.agent(i))) ++reps;
+    }
+    const SrmAgent& probe = session.agent(0);
+    std::cout << "hierarchy: " << hier.area_count() << " areas, " << reps
+              << " representatives, local TTL " << cfg.hierarchy.local_ttl
+              << "\n  warm-up " << warm << "s: " << hier.local_reports_sent()
+              << " local + " << hier.global_reports_sent()
+              << " global reports, " << hier.pending_wheel_buckets()
+              << " timer buckets for " << hier.pending_wheel_items()
+              << " pending reports\n  node " << probe.node()
+              << " estimates group size " << hier.estimated_group_size(probe)
+              << "\n";
+    hier.stop();
   }
 
   // Coded repair: one FecSession per member, layered over each agent's

@@ -17,6 +17,12 @@ are ``*wall_seconds`` keys (machine-dependent wall clock, recorded for
 information only) and metrics present on only one side (new benchmarks,
 retired benchmarks, or a filtered smoke run that captured a subset).
 
+A section named in ``--sections`` that exists in the current run but not
+in the baseline is *baseline-establishing*: its metrics are recorded, a
+note is printed, and nothing is gated — committing the current JSON makes
+it the baseline.  A requested section present in neither file is an error
+(almost certainly a typo in the CI config).
+
 Direction is also section-aware: the ``pdes_kernel`` section's throughput
 keys (``*_per_second``, ``speedup*``) depend on the CI runner's core count
 and are skipped, while its deterministic keys (``events_total`` implicitly,
@@ -68,11 +74,34 @@ def load(path):
 
 def compare(baseline, current, sections, tolerance):
     regressions = []
+    errors = []
+    notes = []
     compared = 0
     section_names = sections or sorted(set(baseline) & set(current))
     for section in section_names:
-        base_metrics = baseline.get(section, {})
-        cur_metrics = current.get(section, {})
+        if section not in baseline and section not in current:
+            # Only reachable via --sections: a name in neither file is a
+            # typo or a retired benchmark, not a baseline-establishing run.
+            errors.append(
+                f"  section '{section}' present in neither file (typo?)"
+            )
+            continue
+        if section not in baseline:
+            # A brand-new benchmark: nothing to gate against yet.  The
+            # current run's numbers become the baseline once committed.
+            notes.append(
+                f"  {section}: baseline-establishing "
+                f"({len(current[section])} metrics recorded, not gated)"
+            )
+            continue
+        if section not in current:
+            notes.append(
+                f"  {section}: absent from current run (not measured, "
+                f"skipped)"
+            )
+            continue
+        base_metrics = baseline[section]
+        cur_metrics = current[section]
         for key in sorted(set(base_metrics) & set(cur_metrics)):
             sense = direction(key, section)
             if sense is None:
@@ -92,7 +121,7 @@ def compare(baseline, current, sections, tolerance):
                     f"({change:+.1%}, {'higher' if sense == 'up' else 'lower'}"
                     f" is better, tolerance {tolerance:.0%})"
                 )
-    return regressions, compared
+    return regressions, compared, notes, errors
 
 
 def main():
@@ -114,9 +143,16 @@ def main():
             return 1
 
     sections = [s for s in args.sections.split(",") if s]
-    regressions, compared = compare(
+    regressions, compared, notes, errors = compare(
         load(args.baseline), load(args.current), sections, args.tolerance
     )
+    for line in notes:
+        print(f"check_bench: note:{line}")
+    if errors:
+        print("check_bench: bad --sections request:", file=sys.stderr)
+        for line in errors:
+            print(line, file=sys.stderr)
+        return 1
     if regressions:
         print("check_bench: regressions beyond tolerance:", file=sys.stderr)
         for line in regressions:

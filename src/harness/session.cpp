@@ -1,6 +1,7 @@
 #include "harness/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace srm::harness {
@@ -61,6 +62,25 @@ SimSession::SimSession(net::Topology topo,
     nets_.push_back(std::make_unique<net::MulticastNetwork>(queue_, topo_));
   }
 
+  if (options_.srm.hierarchy.enabled) {
+    // Two-level reporting drives every member's schedule; the flat per-agent
+    // session timer must not compete with it.
+    options_.srm.session.enabled = false;
+    // Local areas: an explicit count, or ~sqrt(G) so local fan-in and the
+    // representative population grow together.
+    const std::uint32_t target =
+        options_.srm.hierarchy.areas != 0
+            ? options_.srm.hierarchy.areas
+            : static_cast<std::uint32_t>(std::max(
+                  1.0, std::round(std::sqrt(static_cast<double>(
+                           member_nodes_.size())))));
+    area_map_ = net::partition_regions(topo_, target);
+    // Local reports only need the sender's TTL-radius of the tree.
+    for (auto& n : nets_) n->set_scoped_tree_cache(true);
+    hierarchy_ = std::make_unique<SessionHierarchy>(
+        directory_, options_.srm.hierarchy, area_map_.count, options_.seed);
+  }
+
   agents_.reserve(member_nodes_.size());
   for (std::size_t i = 0; i < member_nodes_.size(); ++i) {
     const net::NodeId node = member_nodes_[i];
@@ -69,9 +89,11 @@ SimSession::SimSession(net::Topology topo,
         options_.group, options_.srm, rng_.fork());
     if (kernel_) agent->set_tracer(lane_tracer(node));
     agent->start();
+    if (hierarchy_) hierarchy_->attach(*agent, area_map_.of[node]);
     index_of_[node] = i;
     agents_.push_back(std::move(agent));
   }
+  if (hierarchy_) hierarchy_->start();
 }
 
 net::NetworkStats SimSession::network_stats() const {
@@ -93,6 +115,14 @@ std::size_t SimSession::run() {
   if (!kernel_) return queue_.run();
   const sim::ParallelKernel::RunStats stats =
       kernel_->run(options_.kernel_threads);
+  merge_lane_traces();
+  return static_cast<std::size_t>(stats.region_events + stats.global_events);
+}
+
+std::size_t SimSession::run_until(double t_end) {
+  if (!kernel_) return queue_.run_until(t_end);
+  const sim::ParallelKernel::RunStats stats =
+      kernel_->run(options_.kernel_threads, t_end);
   merge_lane_traces();
   return static_cast<std::size_t>(stats.region_events + stats.global_events);
 }
@@ -175,6 +205,7 @@ SrmAgent& SimSession::add_member(net::NodeId node) {
       options_.group, options_.srm, rng_.fork());
   agent->set_tracer(kernel_ ? lane_tracer(node) : tracer_);
   agent->start();
+  if (hierarchy_) hierarchy_->attach(*agent, area_map_.of[node]);
   index_of_[node] = agents_.size();
   member_nodes_.push_back(node);
   agents_.push_back(std::move(agent));
@@ -189,6 +220,7 @@ void SimSession::remove_member(net::NodeId node, bool graceful) {
   const std::size_t i = it->second;
   SrmAgent& agent = *agents_[i];
   if (graceful) agent.send_session_message();
+  if (hierarchy_) hierarchy_->detach(agent);
   agent.stop();  // leaves the group, cancels timers, detaches, unbinds
   agents_.erase(agents_.begin() + static_cast<std::ptrdiff_t>(i));
   member_nodes_.erase(member_nodes_.begin() +

@@ -29,6 +29,7 @@
 #include "sim/pdes.h"
 #include "srm/agent.h"
 #include "srm/config.h"
+#include "srm/session_hierarchy.h"
 #include "util/rng.h"
 
 namespace srm::harness {
@@ -77,6 +78,11 @@ class SimSession {
   // parallel kernel this also folds the per-region trace lanes into the
   // user's sink (see set_tracer).
   std::size_t run();
+  // Runs until virtual time `t_end` (events at exactly t_end execute;
+  // clocks advance to t_end).  The handle for steady-state workloads that
+  // never drain — hierarchy-mode session reporting reschedules forever, so
+  // benches and tests measure a fixed horizon instead.
+  std::size_t run_until(double t_end);
   // Virtual time: max over all queues (all clocks agree between runs).
   double now() const { return kernel_ ? kernel_->now() : queue_.now(); }
 
@@ -100,6 +106,16 @@ class SimSession {
 
   SrmAgent& agent_at(net::NodeId node);
   SrmAgent& agent(std::size_t index) { return *agents_.at(index); }
+
+  // Two-level session reporting (Options::srm.hierarchy.enabled;
+  // ARCHITECTURE.md §12).  Null when hierarchy mode is off.  The session
+  // owns the coordinator; members are attached with the area the topology
+  // partition assigned their node, and add_member/remove_member keep the
+  // attachment in sync with membership churn.
+  SessionHierarchy* hierarchy() { return hierarchy_.get(); }
+  // Local-area partition (valid only in hierarchy mode): area_map().of[node]
+  // is the area whose representative aggregates that node's reports.
+  const net::RegionMap& area_map() const { return area_map_; }
   bool has_member(net::NodeId node) const {
     return index_of_.count(node) != 0;
   }
@@ -169,6 +185,10 @@ class SimSession {
   std::vector<net::NodeId> member_nodes_;
   std::vector<std::unique_ptr<SrmAgent>> agents_;
   std::unordered_map<net::NodeId, std::size_t> index_of_;
+  net::RegionMap area_map_;  // hierarchy areas (independent of kernel regions)
+  // Declared after agents_: destroyed first, so its destructor can still
+  // unchain the agents' hooks.
+  std::unique_ptr<SessionHierarchy> hierarchy_;
   trace::Tracer* tracer_ = &trace::Tracer::null();
 };
 

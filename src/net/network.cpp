@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <queue>
 #include <stdexcept>
 
 namespace srm::net {
@@ -233,6 +235,159 @@ const MulticastNetwork::PrunedTree& MulticastNetwork::pruned(NodeId root,
   return entry;
 }
 
+const MulticastNetwork::PrunedTree& MulticastNetwork::pruned_scoped(
+    NodeId root, GroupId group, int ttl) {
+  PrunedTree& entry = scoped_cache_[std::make_tuple(root, group, ttl)];
+  if (entry.membership_version == membership_version_ &&
+      entry.topology_version == topo_->version()) {
+    return entry;
+  }
+  entry.membership_version = membership_version_;
+  entry.topology_version = topo_->version();
+  entry.steps.clear();
+  entry.edges.clear();
+
+  const std::size_t n = topo_->node_count();
+  if (scoped_stamp_.size() < n) {
+    scoped_stamp_.resize(n, 0);
+    scoped_done_.resize(n, 0);
+    scoped_need_.resize(n, 0);
+    scoped_dist_.resize(n, 0.0);
+    scoped_hops_.resize(n, 0);
+    scoped_parent_.resize(n, kInvalidNode);
+    scoped_parent_link_.resize(n, 0);
+  }
+  const std::uint64_t gen = ++scoped_gen_;
+  scoped_visited_.clear();
+  scoped_children_.clear();
+
+  // TTL-truncated Dijkstra with the canonical (dist, hops, node) keys and
+  // (delay, hops, parent-id) improvement predicate of Routing::compute().
+  // A finalized node's key is identical to the full SPT's whenever its
+  // canonical hop depth is <= ttl (all its tree ancestors are shallower, so
+  // truncation never hides the winning offer); only nodes within ttl hops
+  // are ever finalized, and only nodes strictly inside the radius expand.
+  using Key = std::tuple<double, int, NodeId>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> pq;
+  scoped_stamp_[root] = gen;
+  scoped_dist_[root] = 0.0;
+  scoped_hops_[root] = 0;
+  scoped_parent_[root] = root;
+  pq.emplace(0.0, 0, root);
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (scoped_done_[u] == gen) continue;
+    scoped_done_[u] = gen;
+    scoped_visited_.push_back(u);
+    if (h >= ttl) continue;  // within radius but must not expand further
+    for (const LinkEnd& e : topo_->neighbors(u)) {
+      const double nd = d + e.delay;
+      const int nh = h + 1;
+      const bool fresh = scoped_stamp_[e.peer] != gen;
+      const bool better =
+          fresh || nd < scoped_dist_[e.peer] ||
+          (nd == scoped_dist_[e.peer] &&
+           (nh < scoped_hops_[e.peer] ||
+            (nh == scoped_hops_[e.peer] && u < scoped_parent_[e.peer])));
+      if (scoped_done_[e.peer] != gen && better) {
+        scoped_stamp_[e.peer] = gen;
+        scoped_dist_[e.peer] = nd;
+        scoped_hops_[e.peer] = nh;
+        scoped_parent_[e.peer] = u;
+        scoped_parent_link_[e.peer] = e.link;
+        pq.emplace(nd, nh, e.peer);
+      }
+    }
+  }
+
+  // need-mark the path of every in-radius member back to the root; iterate
+  // visited nodes (O(radius)), never the whole membership.
+  const auto git = groups_.find(group);
+  const GroupState* gs = git != groups_.end() ? &git->second : nullptr;
+  if (gs != nullptr) {
+    for (NodeId m : scoped_visited_) {
+      if (!gs->test(m)) continue;
+      NodeId v = m;
+      while (scoped_need_[v] != gen) {
+        scoped_need_[v] = gen;
+        if (v == root) break;
+        v = scoped_parent_[v];
+      }
+    }
+  }
+
+  // Children lists in canonical (ascending child id per parent) order, as a
+  // sorted pair vector consumed via equal_range during the flatten.
+  for (NodeId v : scoped_visited_) {
+    if (v != root && scoped_need_[v] == gen) {
+      scoped_children_.emplace_back(scoped_parent_[v], v);
+    }
+  }
+  std::sort(scoped_children_.begin(), scoped_children_.end());
+
+  // Flatten in the exact stack-DFS order pruned() uses.
+  struct BuildFrame {
+    NodeId node;
+    std::uint32_t parent_step;
+  };
+  std::vector<BuildFrame> stack;
+  std::vector<std::uint32_t> parents;
+  if (scoped_need_[root] == gen) stack.push_back(BuildFrame{root, 0});
+  while (!stack.empty()) {
+    const BuildFrame f = stack.back();
+    stack.pop_back();
+    const auto step_index = static_cast<std::uint32_t>(entry.steps.size());
+    TraceStep step;
+    step.node = f.node;
+    step.member = f.node != root && gs != nullptr && gs->test(f.node);
+    step.subtree_end = step_index + 1;
+    step.first_edge = static_cast<std::uint32_t>(entry.edges.size());
+    step.edge_count = 0;
+    const auto range = std::equal_range(
+        scoped_children_.begin(), scoped_children_.end(),
+        std::make_pair(f.node, NodeId{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = range.first; it != range.second; ++it) {
+      const NodeId child = it->second;
+      const Link& l = topo_->link(scoped_parent_link_[child]);
+      TraceEdge edge;
+      edge.child = child;
+      edge.link = scoped_parent_link_[child];
+      edge.delay = l.delay;
+      edge.threshold = l.threshold;
+      edge.child_step = 0;  // patched when the child's step is emitted
+      entry.edges.push_back(edge);
+      stack.push_back(BuildFrame{child, step_index});
+      ++step.edge_count;
+    }
+    entry.steps.push_back(step);
+    parents.push_back(f.parent_step);
+    if (f.node != root) {
+      TraceStep& p = entry.steps[f.parent_step];
+      for (std::uint32_t e = p.first_edge; e < p.first_edge + p.edge_count;
+           ++e) {
+        if (entry.edges[e].child == f.node) {
+          entry.edges[e].child_step = step_index;
+          break;
+        }
+      }
+    }
+  }
+  for (std::uint32_t i = static_cast<std::uint32_t>(entry.steps.size()); i > 1;
+       --i) {
+    const std::uint32_t j = i - 1;
+    TraceStep& p = entry.steps[parents[j]];
+    p.subtree_end = std::max(p.subtree_end, entry.steps[j].subtree_end);
+  }
+  // An empty scoped tree (no in-radius member) still needs the root step so
+  // multicast()'s walk can run unconditionally.
+  if (entry.steps.empty()) {
+    entry.steps.push_back(TraceStep{root, false, 1, 0, 0});
+  }
+  return entry;
+}
+
 bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
                                    const LinkEnd& edge, NodeId from) {
   const auto trace_hop = [&](trace::EventType type, std::uint64_t d) {
@@ -352,7 +507,10 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
     tracer_->emit(ev);
   }
 
-  const PrunedTree& tree = pruned(from, packet.group);
+  const bool scoped = scoped_trees_enabled_ && packet.ttl < kMaxTtl &&
+                      packet.scope == Scope::kGlobal;
+  const PrunedTree& tree = scoped ? pruned_scoped(from, packet.group, packet.ttl)
+                                  : pruned(from, packet.group);
   const auto shared = std::make_shared<const Packet>(std::move(packet));
   const Packet& pkt = *shared;
 

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +106,22 @@ class MulticastNetwork {
   // BEFORE Topology::set_link_up(link, false) — it consults the cached
   // shortest-path trees, which still describe the pre-failure topology.
   void invalidate_in_flight(LinkId link);
+
+  // TTL-scoped delivery-tree fast path for hierarchy-mode local reports
+  // (ARCHITECTURE.md §12).  When enabled, a globally-scoped multicast sent
+  // with TTL < kMaxTtl walks a tree built by a TTL-truncated Dijkstra (exact
+  // canonical tie-breaks) that only ever visits nodes within `ttl` hops of
+  // the sender — O(area) per sender instead of the O(nodes) full SPT, which
+  // is what makes per-member local session reports affordable at G = 50k.
+  // Deliveries match the full-tree walk exactly on tree topologies and on
+  // uniform-delay graphs; on a non-tree topology with non-uniform delays a
+  // node whose canonical (min-delay) path exceeds `ttl` hops may still be
+  // reached over a longer-delay short-hop path (a delivery superset).
+  // TTL-prune counts and drop-policy consultation order also differ from
+  // the full walk (pruned subtrees are never materialized), so this is off
+  // by default and flat-path traces stay bit-identical.
+  void set_scoped_tree_cache(bool on) { scoped_trees_enabled_ = on; }
+  bool scoped_tree_cache() const { return scoped_trees_enabled_; }
 
   // Sends to all members of packet.group other than the sender itself.
   // packet.source is overwritten with `from`.
@@ -206,6 +224,7 @@ class MulticastNetwork {
   };
 
   const PrunedTree& pruned(NodeId root, GroupId group);
+  const PrunedTree& pruned_scoped(NodeId root, GroupId group, int ttl);
   void schedule_delivery(const std::shared_ptr<const Packet>& packet,
                          NodeId to, double delay, int hops_taken);
   void fire_delivery(std::uint32_t index);
@@ -229,6 +248,21 @@ class MulticastNetwork {
   std::unordered_map<GroupId, GroupState> groups_;
   std::uint64_t membership_version_ = 1;
   std::unordered_map<std::uint64_t, PrunedTree> pruned_cache_;
+  bool scoped_trees_enabled_ = false;
+  std::map<std::tuple<NodeId, GroupId, int>, PrunedTree> scoped_cache_;
+  // Generation-stamped scratch for pruned_scoped: a slot's value is valid
+  // only when its stamp equals the current generation, so a build touches
+  // O(visited) slots with no O(nodes) clears.
+  std::uint64_t scoped_gen_ = 0;
+  std::vector<std::uint64_t> scoped_stamp_;  // (dist, hops, parent) valid
+  std::vector<std::uint64_t> scoped_done_;   // finalized this build
+  std::vector<std::uint64_t> scoped_need_;   // lies on a member path
+  std::vector<double> scoped_dist_;
+  std::vector<int> scoped_hops_;
+  std::vector<NodeId> scoped_parent_;
+  std::vector<LinkId> scoped_parent_link_;
+  std::vector<NodeId> scoped_visited_;       // finalized nodes, pop order
+  std::vector<std::pair<NodeId, NodeId>> scoped_children_;  // (parent, child)
   std::shared_ptr<DropPolicy> drop_policy_;
   std::shared_ptr<DropPolicy> fault_drop_policy_;
   NetworkStats stats_;

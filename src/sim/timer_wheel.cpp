@@ -1,0 +1,62 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace srm::sim {
+
+BatchTimerWheel::BatchTimerWheel(EventQueue& queue, Time bucket_width,
+                                 Service service)
+    : queue_(&queue), width_(bucket_width), service_(std::move(service)) {
+  if (!(bucket_width > 0.0)) {
+    throw std::invalid_argument("BatchTimerWheel: bucket_width must be > 0");
+  }
+}
+
+BatchTimerWheel::~BatchTimerWheel() { cancel_all(); }
+
+void BatchTimerWheel::schedule(std::uint32_t lane, std::uint64_t item,
+                               Time at) {
+  const Time now = queue_->now();
+  if (at < now) at = now;
+  auto index = static_cast<std::uint64_t>(std::ceil(at / width_));
+  // Guard the float boundary: ceil can land one bucket short when at/width_
+  // is a hair above an integer that rounds down on division.
+  while (static_cast<Time>(index) * width_ < at) ++index;
+  // A boundary in the past (at == now on an exact boundary already fired
+  // this instant) would violate schedule_at's t >= now contract.
+  while (static_cast<Time>(index) * width_ < now) ++index;
+
+  Bucket& bucket = buckets_[Key{index, lane}];
+  if (bucket.items.empty()) {
+    const Time fire_at = static_cast<Time>(index) * width_;
+    bucket.handle = queue_->schedule_at(
+        fire_at, [this, key = Key{index, lane}] { fire(key); });
+  }
+  bucket.items.push_back(item);
+  ++pending_items_;
+}
+
+void BatchTimerWheel::cancel_all() {
+  for (auto& [key, bucket] : buckets_) bucket.handle.cancel();
+  buckets_.clear();
+  pending_items_ = 0;
+}
+
+void BatchTimerWheel::fire(Key key) {
+  const auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  fire_scratch_.clear();
+  fire_scratch_.swap(it->second.items);
+  pending_items_ -= fire_scratch_.size();
+  // Erase before servicing: callbacks may re-schedule into this same
+  // (lane, bucket) key, which must then create a fresh heap entry.
+  buckets_.erase(it);
+  // Ascending item order: the service sequence depends only on what was
+  // scheduled, not on schedule() call order within the bucket.
+  std::sort(fire_scratch_.begin(), fire_scratch_.end());
+  for (const std::uint64_t item : fire_scratch_) service_(item);
+}
+
+}  // namespace srm::sim

@@ -1,0 +1,76 @@
+// Batched timer wheel on top of the 4-ary event heap (ARCHITECTURE.md §12).
+//
+// A session of G members reporting on a common interval used to cost G live
+// heap entries (one sim::Timer each).  The wheel quantizes expiries into
+// fixed-width buckets and keeps ONE heap entry per (lane, bucket) pair —
+// lanes are caller-defined batching domains (the hierarchical session layer
+// uses one lane per local area) — so the heap's live-entry count scales
+// with lanes x buckets-per-interval, not with members.  When a bucket
+// fires, every item scheduled into it is serviced back-to-back in ascending
+// item order, which is also what makes the service sequence a pure function
+// of the schedule calls rather than of heap internals.
+//
+// Items are opaque 64-bit values; callers that need lazy cancellation
+// encode a generation/epoch in the item and ignore stale ones in the
+// service callback (the wheel never searches buckets to remove an item).
+// Service callbacks may re-schedule, including into the bucket boundary
+// that is currently firing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace srm::sim {
+
+class BatchTimerWheel {
+ public:
+  using Service = std::function<void(std::uint64_t item)>;
+
+  // Expiries are rounded UP to the next multiple of `bucket_width` (an item
+  // never fires early).  `service` is invoked once per item when its bucket
+  // fires; it may call schedule().
+  BatchTimerWheel(EventQueue& queue, Time bucket_width, Service service);
+  ~BatchTimerWheel();
+
+  BatchTimerWheel(const BatchTimerWheel&) = delete;
+  BatchTimerWheel& operator=(const BatchTimerWheel&) = delete;
+
+  // Schedules `item` on `lane` to be serviced at the first bucket boundary
+  // >= max(at, now).  The first item landing in a (lane, bucket) pair costs
+  // one heap insertion; every further item is a vector push.
+  void schedule(std::uint32_t lane, std::uint64_t item, Time at);
+
+  // Cancels every pending bucket (all scheduled items are dropped).
+  void cancel_all();
+
+  // Live heap entries this wheel accounts for — the "heap occupancy grows
+  // with areas, not members" evidence the scaling bench records.
+  std::size_t pending_buckets() const { return buckets_.size(); }
+  std::size_t pending_items() const { return pending_items_; }
+
+ private:
+  // (bucket index, lane): ordered so iteration (tests, introspection) is
+  // deterministic; lookup is once per schedule() on a cold (lane, bucket).
+  using Key = std::pair<std::uint64_t, std::uint32_t>;
+
+  struct Bucket {
+    EventHandle handle;
+    std::vector<std::uint64_t> items;
+  };
+
+  void fire(Key key);
+
+  EventQueue* queue_;
+  Time width_;
+  Service service_;
+  std::map<Key, Bucket> buckets_;
+  std::size_t pending_items_ = 0;
+  std::vector<std::uint64_t> fire_scratch_;  // reused across fires
+};
+
+}  // namespace srm::sim

@@ -74,7 +74,14 @@ SrmAgent::SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
       // Per-host clock skew: distance estimation must not depend on
       // synchronized clocks, so every host gets a different offset.
       clock_(network.queue(), rng_.uniform(0.0, 1000.0)),
-      estimator_(clock_, &directory.index()),
+      // Hierarchy mode gives each estimator a private member index: the
+      // shared directory index interns every member of the session, so the
+      // estimator's dense per-peer vectors would grow to the full group at
+      // every agent — O(G^2) memory at G=50k.  A private index scales them
+      // with the peers this member actually hears (its local area plus the
+      // representatives; ARCHITECTURE.md §12).
+      estimator_(clock_,
+                 config.hierarchy.enabled ? nullptr : &directory.index()),
       session_scheduler_(config.session, rng_.fork()),
       request_tuner_(config.adaptive,
                      AdaptiveTuner::Bounds{config.adaptive.c1_min,
@@ -818,6 +825,22 @@ void SrmAgent::send_session_message(int ttl) {
   auto msg = session_pool_.acquire(id_, clock_.now(),
                                    std::move(state_scratch_),
                                    std::move(echo_scratch_));
+  send_session_packet(std::move(msg), ttl);
+}
+
+void SrmAgent::send_session_message(int ttl,
+                                    SessionMessage::AreaDigests&& digests) {
+  ++metrics_.session_sent;
+  build_state_report(state_scratch_);
+  estimator_.build_echoes(echo_scratch_, config_.session.echo_rotation);
+  auto msg = session_pool_.acquire(id_, clock_.now(),
+                                   std::move(state_scratch_),
+                                   std::move(echo_scratch_),
+                                   std::move(digests));
+  send_session_packet(std::move(msg), ttl);
+}
+
+void SrmAgent::send_session_packet(net::MessagePtr msg, int ttl) {
   net::Packet packet;
   packet.group = group_;
   packet.ttl = ttl;

@@ -239,6 +239,11 @@ class SrmAgent : public net::PacketSink {
   // hierarchical extension).  `ttl` limits its scope; by default it reaches
   // the whole group.
   void send_session_message(int ttl = net::kMaxTtl);
+  // Representative variant (Sec. IX-A): the global report also carries
+  // per-area digests.  The digest vector is swapped into the pooled message
+  // (and the recycled message's capacity swapped back), so the caller's
+  // scratch circulates allocation-free like the state/echo tables.
+  void send_session_message(int ttl, SessionMessage::AreaDigests&& digests);
 
   // Page-state recovery (Sec. III-A).  With a page id, asks the group for
   // that page's sequence-number state (the reply reveals the page's streams
@@ -342,6 +347,9 @@ class SrmAgent : public net::PacketSink {
   // Fills `out` (cleared; capacity retained) with the current page's
   // per-stream state.
   void build_state_report(SessionMessage::StateReport& out) const;
+  // Common tail of the send_session_message overloads: wraps the pooled
+  // message in a packet and multicasts it at `ttl`.
+  void send_session_packet(net::MessagePtr msg, int ttl);
   SessionMessage::StateReport page_state(const PageId& page) const;
   void schedule_next_session_message();
 

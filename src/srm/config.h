@@ -122,6 +122,35 @@ struct FecConfig {
   std::size_t burst_floor = 2;        // min K during a Gilbert-Elliott burst
 };
 
+// Hierarchical session messages (Sec. IX-A; ARCHITECTURE.md §12): members
+// report with TTL-limited scope, one representative per local area (the
+// lowest live Source-ID) aggregates into global session messages carrying a
+// per-area digest.  When enabled, the harness drives reporting through
+// srm::SessionHierarchy (batched timer wheels, struct-of-arrays liveness
+// state sharded per area) instead of the agent's flat session schedule, and
+// each agent's DistanceEstimator switches to a private member index so its
+// peer tables scale with the peers actually heard (its area plus the
+// representatives), not with the whole group.
+struct HierarchyConfig {
+  bool enabled = false;
+  // Scope of local session messages; must reach the representative.
+  int local_ttl = 4;
+  // Local-area count; 0 derives ~sqrt(member count) from the topology.
+  std::uint32_t areas = 0;
+  // Mean reporting interval (jittered below).
+  sim::Time report_interval = 10.0;
+  // A local peer not heard for this many intervals is presumed gone.
+  double staleness_intervals = 3.0;
+  // Each interval is uniform in [1-jitter, 1+jitter] x report_interval,
+  // drawn statelessly keyed by (area, member slot, draw ordinal) so traces
+  // stay bit-identical under the parallel kernel.
+  double jitter = 0.5;
+  // Timer-wheel buckets per report interval: expiries quantize to
+  // report_interval / wheel_buckets, bounding live heap entries at
+  // areas x wheel_buckets instead of one per member.
+  std::uint32_t wheel_buckets = 8;
+};
+
 struct RateLimitConfig {
   bool enabled = false;
   double tokens_per_second = 1e9;  // token refill rate (bytes/second)
@@ -135,6 +164,7 @@ struct SrmConfig {
   LocalRecoveryConfig local_recovery;
   RateLimitConfig rate_limit;
   FecConfig fec;
+  HierarchyConfig hierarchy;
 
   DistanceMode distance_mode = DistanceMode::kOracle;
   // Distance assumed for members we have no estimate for (kEstimated mode).

@@ -171,12 +171,31 @@ class SessionMessage final : public net::Message {
   // Echo table, sorted by peer Source-ID.
   using Echoes = util::FlatMap<SourceId, Echo>;
 
+  // Hierarchical aggregation (Sec. IX-A; ARCHITECTURE.md §12): a
+  // representative's global session message summarizes its local area so
+  // every member can estimate the whole group's size without hearing every
+  // member.  live_members counts local peers heard within the staleness
+  // horizon; max_seq is the highest report ordinal observed in the area (a
+  // freshness watermark).  Flat sessions leave the table empty, keeping the
+  // wire format bit-identical to the pre-hierarchy tree.
+  struct AreaDigest {
+    std::uint32_t area = 0;
+    std::uint32_t live_members = 0;
+    SeqNo max_seq = 0;
+
+    friend bool operator==(const AreaDigest&, const AreaDigest&) = default;
+  };
+
+  // Digest table, sorted by area id.
+  using AreaDigests = std::vector<AreaDigest>;
+
   SessionMessage(SourceId sender, sim::Time sender_timestamp,
-                 StateReport state, Echoes echoes)
+                 StateReport state, Echoes echoes, AreaDigests digests = {})
       : sender_(sender),
         sender_timestamp_(sender_timestamp),
         state_(std::move(state)),
-        echoes_(std::move(echoes)) {}
+        echoes_(std::move(echoes)),
+        digests_(std::move(digests)) {}
 
   SourceId sender() const { return sender_; }
   // The sender's local clock when the message was sent (clocks need not be
@@ -184,6 +203,7 @@ class SessionMessage final : public net::Message {
   sim::Time sender_timestamp() const { return sender_timestamp_; }
   const StateReport& state() const { return state_; }
   const Echoes& echoes() const { return echoes_; }
+  const AreaDigests& digests() const { return digests_; }
 
   // Recycles this message for a new send (net::MessagePool contract; only
   // called once no delivery references the object).  Swaps rather than
@@ -196,13 +216,26 @@ class SessionMessage final : public net::Message {
     sender_timestamp_ = sender_timestamp;
     state_.swap(state);
     echoes_.swap(echoes);
+    digests_.clear();
+  }
+
+  // Digest-carrying variant (hierarchy representatives); the swap hands the
+  // recycled message's digest capacity back to the caller's scratch too.
+  void rebind(SourceId sender, sim::Time sender_timestamp, StateReport&& state,
+              Echoes&& echoes, AreaDigests&& digests) {
+    sender_ = sender;
+    sender_timestamp_ = sender_timestamp;
+    state_.swap(state);
+    echoes_.swap(echoes);
+    digests_.swap(digests);
   }
 
   std::string describe() const override {
     return "SESSION from " + std::to_string(sender_);
   }
   std::size_t size_bytes() const override {
-    return 24 + 16 * state_.size() + 20 * echoes_.size();
+    return 24 + 16 * state_.size() + 20 * echoes_.size() +
+           12 * digests_.size();
   }
   std::uint32_t trace_kind() const override { return 4; }
 
@@ -211,6 +244,7 @@ class SessionMessage final : public net::Message {
   sim::Time sender_timestamp_;
   StateReport state_;
   Echoes echoes_;
+  AreaDigests digests_;
 };
 
 // Page-state recovery (Sec. III-A): "A receiver browsing over previous

@@ -71,6 +71,45 @@ std::optional<double> DistanceEstimator::distance(SourceId peer) const {
   return slots_[idx].estimate;
 }
 
+void AreaLiveTable::resize(std::uint32_t areas) {
+  live_.resize(areas, 0);
+  max_seq_.resize(areas, 0);
+  heard_.resize(areas, 0.0);
+  has_.resize(areas, 0);
+}
+
+void AreaLiveTable::fold(const SessionMessage::AreaDigests& digests,
+                         sim::Time now) {
+  for (const SessionMessage::AreaDigest& d : digests) {
+    if (d.area >= live_.size()) continue;  // unknown area: stale topology
+    live_[d.area] = d.live_members;
+    if (d.max_seq > max_seq_[d.area]) max_seq_[d.area] = d.max_seq;
+    heard_[d.area] = now;
+    has_[d.area] = 1;
+  }
+}
+
+std::size_t AreaLiveTable::live_elsewhere(std::uint32_t self_area,
+                                          sim::Time now,
+                                          sim::Time horizon) const {
+  std::size_t total = 0;
+  for (std::uint32_t a = 0; a < live_.size(); ++a) {
+    if (a == self_area || !has_[a]) continue;
+    if (now - heard_[a] > horizon) continue;
+    total += live_[a];
+  }
+  return total;
+}
+
+void AreaLiveTable::build_digests(SessionMessage::AreaDigests& out,
+                                  std::uint32_t self_area,
+                                  std::uint32_t self_live,
+                                  SeqNo self_max_seq) {
+  out.clear();
+  out.push_back(
+      SessionMessage::AreaDigest{self_area, self_live, self_max_seq});
+}
+
 sim::Time SessionScheduler::mean_interval(std::size_t group_size,
                                           std::size_t message_bytes) const {
   const double session_bw =

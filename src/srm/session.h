@@ -94,6 +94,45 @@ class DistanceEstimator {
   std::size_t rotation_cursor_ = 0;  // next echo-rotation window start
 };
 
+// Per-area digest state for two-level reporting (Sec. IX-A;
+// ARCHITECTURE.md §12).  Each member folds the AreaDigest tables heard in
+// representatives' global session messages into dense per-area vectors
+// (live count, freshness watermark, arrival stamp), giving it a whole-group
+// size estimate at O(areas) memory — it never tracks remote members
+// individually.  Also builds the digest table a representative embeds in
+// its own global reports.
+class AreaLiveTable {
+ public:
+  explicit AreaLiveTable(std::uint32_t areas = 0) { resize(areas); }
+
+  void resize(std::uint32_t areas);
+  std::uint32_t areas() const {
+    return static_cast<std::uint32_t>(live_.size());
+  }
+
+  // Folds a received digest table; `now` stamps freshness.
+  void fold(const SessionMessage::AreaDigests& digests, sim::Time now);
+
+  // Sum of live_members over every area other than `self_area` whose digest
+  // arrived within `horizon` of `now`.
+  std::size_t live_elsewhere(std::uint32_t self_area, sim::Time now,
+                             sim::Time horizon) const;
+
+  // Fills `out` (cleared; capacity retained) with this member's own-area
+  // digest.  Representatives summarize only the area they can observe
+  // directly; every other area's digest reaches the group from that area's
+  // own representative, so relaying would only add O(areas^2) fold work.
+  static void build_digests(SessionMessage::AreaDigests& out,
+                            std::uint32_t self_area, std::uint32_t self_live,
+                            SeqNo self_max_seq);
+
+ private:
+  std::vector<std::uint32_t> live_;
+  std::vector<SeqNo> max_seq_;
+  std::vector<sim::Time> heard_;
+  std::vector<std::uint8_t> has_;
+};
+
 // Schedules session messages at an average rate that scales inversely with
 // the (estimated) group size, so the aggregate session-message bandwidth
 // stays at a fixed small fraction of the data bandwidth regardless of how

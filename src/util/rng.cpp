@@ -14,6 +14,27 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t keyed_u64(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) {
+  // Fold each key through one splitmix64 step; the chained state makes the
+  // mapping sensitive to every coordinate independently.
+  std::uint64_t state = seed;
+  std::uint64_t h = splitmix64(state);
+  state ^= a;
+  h ^= splitmix64(state);
+  state ^= b;
+  h ^= splitmix64(state);
+  state ^= c;
+  h ^= splitmix64(state);
+  return h;
+}
+
+double keyed_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  // Top 53 bits -> [0, 1), the usual uniform-double construction.
+  return static_cast<double>(keyed_u64(seed, a, b, c) >> 11) * 0x1.0p-53;
+}
+
 Rng::Rng(std::uint64_t seed) {
   // Expand the seed through splitmix64 so that adjacent user seeds (0, 1, 2,
   // ...) still produce uncorrelated mt19937_64 states.

@@ -18,6 +18,20 @@ namespace srm::util {
 // Generators", OOPSLA 2014.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+// Stateless keyed draws: a pure function of (seed, a, b, c) with no stream
+// state to share or order-depend on.  Components whose draw order differs
+// between the sequential and parallel kernels (e.g. per-member report
+// jitter serviced from per-region timer wheels) key each draw by stable
+// coordinates — (area, member slot, draw ordinal) — instead of consuming a
+// shared Rng, so the value a given draw produces is identical no matter
+// which worker, region or interleaving executes it.
+std::uint64_t keyed_u64(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c);
+
+// The same draw mapped to a double in [0, 1).
+double keyed_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c);
+
 // A seeded random source.  Thin wrapper over mt19937_64 with the handful of
 // distributions the simulator needs.  Copyable (copies the full state).
 class Rng {

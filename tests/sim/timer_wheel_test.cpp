@@ -1,0 +1,118 @@
+// Tests for the batched timer wheel (ARCHITECTURE.md §12): bucket
+// quantization, heap-occupancy batching, deterministic service order, and
+// lazy cancellation via cancel_all.
+#include "sim/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace srm::sim {
+namespace {
+
+struct Serviced {
+  Time t;
+  std::uint64_t item;
+  friend bool operator==(const Serviced&, const Serviced&) = default;
+};
+
+TEST(BatchTimerWheelTest, RoundsUpToBucketBoundaryAndBatches) {
+  EventQueue q;
+  std::vector<Serviced> log;
+  BatchTimerWheel wheel(q, /*bucket_width=*/1.0,
+                        [&](std::uint64_t item) { log.push_back({q.now(), item}); });
+
+  // Three items landing inside (1, 2] share one bucket — and one heap entry.
+  wheel.schedule(0, 7, 1.2);
+  wheel.schedule(0, 3, 1.9);
+  wheel.schedule(0, 5, 2.0);
+  EXPECT_EQ(wheel.pending_buckets(), 1u);
+  EXPECT_EQ(wheel.pending_items(), 3u);
+  EXPECT_EQ(q.pending_events(), 1u);
+
+  q.run();
+  // One firing at the boundary, items in ascending order.
+  const std::vector<Serviced> want{{2.0, 3}, {2.0, 5}, {2.0, 7}};
+  EXPECT_EQ(log, want);
+  EXPECT_EQ(wheel.pending_buckets(), 0u);
+  EXPECT_EQ(wheel.pending_items(), 0u);
+}
+
+TEST(BatchTimerWheelTest, LanesGetSeparateBuckets) {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  BatchTimerWheel wheel(q, 1.0,
+                        [&](std::uint64_t item) { order.push_back(item); });
+  wheel.schedule(/*lane=*/1, 10, 0.5);
+  wheel.schedule(/*lane=*/0, 20, 0.5);
+  EXPECT_EQ(wheel.pending_buckets(), 2u);
+  q.run();
+  // Same boundary, FIFO by heap insertion: lane 1 was scheduled first.
+  const std::vector<std::uint64_t> want{10, 20};
+  EXPECT_EQ(order, want);
+}
+
+TEST(BatchTimerWheelTest, ServiceMayRescheduleIntoNextBucket) {
+  EventQueue q;
+  std::vector<Serviced> log;
+  BatchTimerWheel* wp = nullptr;
+  BatchTimerWheel wheel(q, 1.0, [&](std::uint64_t item) {
+    log.push_back({q.now(), item});
+    if (q.now() < 3.5) wp->schedule(0, item, q.now() + 1.0);
+  });
+  wp = &wheel;
+  wheel.schedule(0, 42, 0.5);
+  q.run();
+  const std::vector<Serviced> want{{1.0, 42}, {2.0, 42}, {3.0, 42}, {4.0, 42}};
+  EXPECT_EQ(log, want);
+}
+
+TEST(BatchTimerWheelTest, NeverFiresEarlyAndClampsToNow) {
+  EventQueue q;
+  std::vector<Serviced> log;
+  BatchTimerWheel wheel(q, 2.0,
+                        [&](std::uint64_t item) { log.push_back({q.now(), item}); });
+  q.schedule_at(3.0, [&] {
+    wheel.schedule(0, 1, 0.5);  // in the past: clamped to now, next boundary
+  });
+  q.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].item, 1u);
+  EXPECT_GE(log[0].t, 3.0);
+  EXPECT_EQ(log[0].t, 4.0);  // next multiple of 2.0 at/after 3.0
+}
+
+TEST(BatchTimerWheelTest, CancelAllDropsEverything) {
+  EventQueue q;
+  std::size_t fired = 0;
+  BatchTimerWheel wheel(q, 1.0, [&](std::uint64_t) { ++fired; });
+  for (std::uint64_t i = 0; i < 10; ++i) wheel.schedule(0, i, 1.0 + 0.1 * i);
+  EXPECT_GT(wheel.pending_items(), 0u);
+  wheel.cancel_all();
+  EXPECT_EQ(wheel.pending_buckets(), 0u);
+  EXPECT_EQ(wheel.pending_items(), 0u);
+  q.run();
+  EXPECT_EQ(fired, 0u);
+}
+
+TEST(BatchTimerWheelTest, OccupancyBoundedByBucketsNotItems) {
+  EventQueue q;
+  std::size_t fired = 0;
+  BatchTimerWheel wheel(q, 1.0, [&](std::uint64_t) { ++fired; });
+  // 1000 items spread over 4 bucket widths on one lane: at most 5 heap
+  // entries, never 1000.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    wheel.schedule(0, i, 0.004 * static_cast<double>(i));
+  }
+  EXPECT_EQ(wheel.pending_items(), 1000u);
+  EXPECT_LE(wheel.pending_buckets(), 5u);
+  EXPECT_LE(q.pending_events(), 5u);
+  q.run();
+  EXPECT_EQ(fired, 1000u);
+}
+
+}  // namespace
+}  // namespace srm::sim

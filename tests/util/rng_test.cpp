@@ -144,6 +144,29 @@ TEST(RngTest, IndexStaysInRange) {
   EXPECT_THROW(r.index(0), std::invalid_argument);
 }
 
+TEST(KeyedDrawTest, DeterministicAndKeySensitive) {
+  // Stateless draws: same key -> same value, any key component change ->
+  // (almost surely) a different one.  This is what lets the hierarchical
+  // session layer draw jitter without a shared RNG stream (ARCHITECTURE.md
+  // §12 determinism argument).
+  EXPECT_EQ(keyed_u64(1, 2, 3, 4), keyed_u64(1, 2, 3, 4));
+  EXPECT_NE(keyed_u64(1, 2, 3, 4), keyed_u64(1, 2, 3, 5));
+  EXPECT_NE(keyed_u64(1, 2, 3, 4), keyed_u64(1, 2, 4, 4));
+  EXPECT_NE(keyed_u64(1, 2, 3, 4), keyed_u64(1, 3, 3, 4));
+  EXPECT_NE(keyed_u64(1, 2, 3, 4), keyed_u64(2, 2, 3, 4));
+}
+
+TEST(KeyedDrawTest, UnitIsInHalfOpenIntervalAndRoughlyUniform) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const double u = keyed_unit(7, 1, i, i * 31);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4096.0, 0.5, 0.02);
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng r(19);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
