@@ -31,8 +31,10 @@
 #include "topo/builders.h"
 #include "trace/timeline.h"
 #include "trace/trace.h"
+#include "transport/udp_transport.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -88,6 +90,14 @@ Flags (defaults in brackets):
                   parallel kernels and compare per-round
                   stats; exits non-zero on any mismatch
                   (incompatible with --faults)              [false]
+  --workload      run a heavy-traffic workload instead of
+                  the loss rounds: flash-crowd | conference
+                  | diurnal | repair-storm, judged by the
+                  recovery-invariant checker
+                  (ARCHITECTURE.md §13)                     [off]
+  --transport     backend for --workload: sim (virtual
+                  time) | udp (real multicast on loopback,
+                  wall time); udp requires --workload       [sim]
   --help          print this table and exit
 )";
 
@@ -178,13 +188,68 @@ int main(int argc, char** argv) {
     std::cerr << "srmsim: unknown --trace-format: " << trace_format << "\n";
     return 1;
   }
+  // Workload mode: a scripted heavy-traffic scenario (ARCHITECTURE.md §13)
+  // replaces the loss rounds entirely.  --members scales the peak
+  // membership; --transport selects the backend the identical spec runs on.
+  const std::string transport_kind = flags.get_string("transport", "sim");
+  const std::string workload_name = flags.get_string("workload", "");
+  if (transport_kind != "sim" && transport_kind != "udp") {
+    std::cerr << "srmsim: unknown --transport: " << transport_kind << "\n";
+    return 1;
+  }
+  if (workload_name.empty() && transport_kind == "udp") {
+    std::cerr << "srmsim: --transport=udp requires --workload (the figure "
+                 "rounds are simulator-only)\n";
+    return 1;
+  }
+  if (!workload_name.empty()) {
+    workload::WorkloadSpec wspec;
+    try {
+      wspec = workload::make_workload(
+          workload_name, member_count == 0 ? 48 : member_count, seed);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "srmsim: " << e.what() << "\n";
+      return 1;
+    }
+    const bool udp = transport_kind == "udp";
+    if (udp && !transport::UdpTransport::available()) {
+      std::cout << "srmsim: loopback multicast unavailable; skipping "
+                   "--transport=udp workload\n";
+      return 0;
+    }
+    std::cout << "workload '" << wspec.name << "': " << wspec.peak_members
+              << " peak members (" << wspec.initial_members
+              << " initial), seed " << seed << ", " << transport_kind
+              << " backend, " << wspec.actions.size()
+              << " scripted actions over " << wspec.duration << "s\n\n";
+    const workload::WorkloadResult r = udp
+                                           ? workload::run_workload_udp(wspec)
+                                           : workload::run_workload_sim(wspec);
+    util::Table wtable({"sends", "joins", "departs", "drops", "losses",
+                        "requests", "repairs", "recovered", "p50 (s)",
+                        "p99 (s)", "max (s)"});
+    wtable.add_row(
+        {util::Table::num(r.data_sent), util::Table::num(r.joins),
+         util::Table::num(r.departures), util::Table::num(r.scripted_drops),
+         util::Table::num(r.losses), util::Table::num(r.requests),
+         util::Table::num(r.repairs), util::Table::num(r.recoveries),
+         util::Table::num(r.recovery_p50, 2),
+         util::Table::num(r.recovery_p99, 2),
+         util::Table::num(r.recovery_max, 2)});
+    wtable.print(std::cout);
+    std::cout << "\nfingerprint 0x" << std::hex << r.fingerprint << std::dec
+              << "\n"
+              << r.checker.summary();
+    return r.passed ? 0 : 1;
+  }
+
   const std::string faults_path = flags.get_string("faults", "");
   const double fault_deadline = flags.get_double("fault-deadline", 100.0);
   const bool routing_verify = flags.get_bool("routing-verify", false);
   const long long kernel_threads_flag = flags.get_int("kernel-threads", 0);
   // srmsim runs one session, so the whole hardware budget belongs to the
   // kernel side (replication = 1); plan_thread_budget caps oversubscription.
-  const unsigned kernel_threads =
+  unsigned kernel_threads =
       harness::plan_thread_budget(
           /*requested_replication=*/1,
           kernel_threads_flag > 0 ? static_cast<unsigned>(kernel_threads_flag)
@@ -221,6 +286,24 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::cerr << "srmsim: " << faults_path << ": " << e.what() << "\n";
       return 1;
+    }
+  }
+  // Stochastic drop policies (RandomDrop, GilbertElliottDrop) draw from a
+  // single RNG stream whose consumption order would depend on worker
+  // interleaving, so they are sequential-kernel only (net/drop_policy.h).
+  // A plan with burst epochs therefore forces the sequential kernel; say so
+  // explicitly rather than silently serializing (or silently racing).
+  if (kernel_threads > 0) {
+    for (const auto& event : fault_plan.events()) {
+      if (event.kind == fault::FaultEvent::Kind::kBurstOn) {
+        std::cout << "srmsim: --faults plan schedules stochastic loss "
+                     "(burst_on installs a GilbertElliottDrop, which — like "
+                     "RandomDrop — is PDES-unsafe); ignoring --kernel-threads="
+                  << kernel_threads_flag
+                  << " and running the sequential kernel\n";
+        kernel_threads = 0;
+        break;
+      }
     }
   }
 

@@ -3,11 +3,13 @@
 
 Compares a freshly measured perf JSON (the two-level section -> metric ->
 value format written by util::PerfJson) against the baseline committed in
-the repository (BENCH_kernel.json, BENCH_session.json, BENCH_fault.json)
-and fails when any metric regresses by more than the tolerance (default
-20%).  BENCH_fault.json's recovery-latency percentiles are virtual-time
-(``*_us``) and therefore machine-independent: any drift is a behavioral
-change, not measurement noise.
+the repository (BENCH_kernel.json, BENCH_session.json, BENCH_fault.json,
+BENCH_workload.json, ...) and fails when any metric regresses by more than
+the tolerance (default 20%).  The recovery-latency percentiles in
+BENCH_fault.json and BENCH_workload.json are virtual-time (``*_us``) and
+therefore machine-independent: any drift is a behavioral change, not
+measurement noise.  (scripts/check_bench_test.py pins this module's
+skip/direction/section rules.)
 
 Direction is inferred from the metric name:
   * ``*_per_second``           -- higher is better

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "transport/sim_transport.h"
+
 namespace srm {
 
 namespace {
@@ -64,7 +66,21 @@ std::vector<SourceId> MemberDirectory::members() const {
 SrmAgent::SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
                    net::NodeId node, SourceId id, net::GroupId group,
                    const SrmConfig& config, util::Rng rng)
-    : network_(&network),
+    : SrmAgent(std::make_unique<transport::SimTransport>(network), nullptr,
+               directory, node, id, group, config, std::move(rng)) {}
+
+SrmAgent::SrmAgent(transport::Transport& transport, MemberDirectory& directory,
+                   net::NodeId node, SourceId id, net::GroupId group,
+                   const SrmConfig& config, util::Rng rng)
+    : SrmAgent(nullptr, &transport, directory, node, id, group, config,
+               std::move(rng)) {}
+
+SrmAgent::SrmAgent(std::unique_ptr<transport::Transport> owned,
+                   transport::Transport* ext, MemberDirectory& directory,
+                   net::NodeId node, SourceId id, net::GroupId group,
+                   const SrmConfig& config, util::Rng rng)
+    : owned_transport_(std::move(owned)),
+      transport_(owned_transport_ ? owned_transport_.get() : ext),
       directory_(&directory),
       node_(node),
       id_(id),
@@ -73,7 +89,7 @@ SrmAgent::SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
       rng_(std::move(rng)),
       // Per-host clock skew: distance estimation must not depend on
       // synchronized clocks, so every host gets a different offset.
-      clock_(network.queue(), rng_.uniform(0.0, 1000.0)),
+      clock_(transport_->queue(), rng_.uniform(0.0, 1000.0)),
       // Hierarchy mode gives each estimator a private member index: the
       // shared directory index interns every member of the session, so the
       // estimator's dense per-peer vectors would grow to the full group at
@@ -95,11 +111,11 @@ SrmAgent::SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
                                           config.adaptive.d2_min,
                                           config.adaptive.d2_max},
                     config.timers.d1, config.timers.d2),
-      rate_limiter_(config.rate_limit, network.queue().now()) {
+      rate_limiter_(config.rate_limit, transport_->queue().now()) {
   session_timer_ = std::make_unique<sim::Timer>(
-      network.queue(), [this] { send_session_message(); });
+      transport_->queue(), [this] { send_session_message(); });
   send_queue_timer_ = std::make_unique<sim::Timer>(
-      network.queue(), [this] { drain_send_queue(); });
+      transport_->queue(), [this] { drain_send_queue(); });
   request_ttl_policy_ = [](const DataName&) { return net::kMaxTtl; };
   request_group_policy_ = [this](const DataName&) { return group_; };
 }
@@ -112,8 +128,8 @@ void SrmAgent::start() {
   if (started_) return;
   started_ = true;
   directory_->bind(id_, node_);
-  network_->attach(node_, this);
-  network_->join(group_, node_);
+  transport_->attach(node_, this);
+  transport_->join(group_, node_);
   if (config_.session.enabled) schedule_next_session_message();
 }
 
@@ -131,19 +147,19 @@ void SrmAgent::stop() {
   for (auto& [key, st] : page_replies_) {
     if (st.timer) st.timer->cancel();
   }
-  for (net::GroupId g : extra_groups_) network_->leave(g, node_);
+  for (net::GroupId g : extra_groups_) transport_->leave(g, node_);
   extra_groups_.clear();
-  network_->leave(group_, node_);
-  network_->detach(node_);
+  transport_->leave(group_, node_);
+  transport_->detach(node_);
   directory_->unbind(id_);
 }
 
 void SrmAgent::join_extra_group(net::GroupId g) {
-  if (extra_groups_.insert(g).second) network_->join(g, node_);
+  if (extra_groups_.insert(g).second) transport_->join(g, node_);
 }
 
 void SrmAgent::leave_extra_group(net::GroupId g) {
-  if (extra_groups_.erase(g) > 0) network_->leave(g, node_);
+  if (extra_groups_.erase(g) > 0) transport_->leave(g, node_);
 }
 
 void SrmAgent::send_app_message(net::GroupId g, net::MessagePtr message,
@@ -153,7 +169,7 @@ void SrmAgent::send_app_message(net::GroupId g, net::MessagePtr message,
   packet.ttl = ttl;
   packet.scope = use_admin_scope_ ? net::Scope::kAdmin : net::Scope::kGlobal;
   packet.payload = std::move(message);
-  network_->multicast(node_, std::move(packet));
+  transport_->multicast(node_, std::move(packet));
 }
 
 // ---------------------------------------------------------------------------
@@ -229,10 +245,10 @@ double SrmAgent::distance_to(SourceId peer) const {
     // changes (bind/unbind bumps the directory version) or the topology
     // mutates (link dynamics bump the topology version).
     if (oracle_dist_version_ != directory_->version() ||
-        oracle_topo_version_ != network_->topology().version()) {
+        oracle_topo_version_ != transport_->topology_version()) {
       oracle_dist_.clear();
       oracle_dist_version_ = directory_->version();
-      oracle_topo_version_ = network_->topology().version();
+      oracle_topo_version_ = transport_->topology_version();
     }
     if (idx >= oracle_dist_.size()) {
       oracle_dist_.resize(directory_->index().size(), -1.0);
@@ -242,7 +258,7 @@ double SrmAgent::distance_to(SourceId peer) const {
       try {
         // try_distance: a peer partitioned away reads as infinitely far,
         // which is routine under fault injection, not an error.
-        const double d = network_->try_distance(node_, directory_->node_of(peer));
+        const double d = transport_->try_distance(node_, directory_->node_of(peer));
         cached = std::isinf(d) ? config_.default_distance : d;
       } catch (const std::out_of_range&) {
         cached = config_.default_distance;  // member no longer bound
@@ -337,7 +353,7 @@ void SrmAgent::handle_page_request(const PageRequestMessage& msg) {
   st.requestor = msg.requestor();
   if (!st.timer) {
     st.timer = std::make_unique<sim::Timer>(
-        network_->queue(), [this, key] { on_page_reply_timer(key); });
+        transport_->queue(), [this, key] { on_page_reply_timer(key); });
   }
   // Same timer discipline as data repairs: randomized, distance-scaled,
   // suppressible (Sec. III-A: "almost identical to the repair
@@ -424,7 +440,7 @@ void SrmAgent::note_stream_advance(const StreamKey& stream, SeqNo seen_seq) {
 void SrmAgent::detect_loss(const DataName& name, bool via_request) {
   ++metrics_.losses_detected;
   if (hooks_.on_loss_detected) hooks_.on_loss_detected(name);
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
 
   RequestState state;
   state.dist = distance_to(name.source);
@@ -433,7 +449,7 @@ void SrmAgent::detect_loss(const DataName& name, bool via_request) {
   state.detect_time = now;
   state.timer_set_time = now;
   state.timer = std::make_unique<sim::Timer>(
-      network_->queue(), [this, name] { on_request_timer_expired(name); });
+      transport_->queue(), [this, name] { on_request_timer_expired(name); });
 
   open_request_period(name);
 
@@ -470,7 +486,7 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
   const auto it = requests_.find(name);
   if (it == requests_.end()) return;
   RequestState& st = it->second;
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   trace_adu(trace::EventType::kSrmReqFire, name,
             static_cast<std::uint64_t>(st.backoffs));
 
@@ -525,7 +541,7 @@ void SrmAgent::on_request_timer_expired(const DataName& name) {
 }
 
 void SrmAgent::backoff_request(const DataName& name, RequestState& state) {
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   // Footnote 1's heuristic: requests heard before the ignore-backoff time
   // belong to the same loss-recovery iteration and cause no further backoff.
   if (config_.ignore_backoff_heuristic &&
@@ -554,7 +570,7 @@ void SrmAgent::complete_recovery(const DataName& name,
                                  const PayloadPtr& payload) {
   const auto it = requests_.find(name);
   if (it == requests_.end()) return;
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   const double delay = now - it->second.detect_time;
   ++metrics_.recoveries;
   trace_adu(trace::EventType::kSrmRecovered, name, 0, delay);
@@ -616,7 +632,7 @@ void SrmAgent::maybe_schedule_repair(const DataName& name,
                                      const RequestMessage& msg,
                                      const net::DeliveryInfo& info,
                                      const net::Packet& request_packet) {
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   auto [it, inserted] = repairs_.try_emplace(name);
   RepairState& rs = it->second;
 
@@ -637,7 +653,7 @@ void SrmAgent::maybe_schedule_repair(const DataName& name,
   rs.delay_recorded = false;
   if (!rs.timer) {
     rs.timer = std::make_unique<sim::Timer>(
-        network_->queue(), [this, name] { on_repair_timer_expired(name); });
+        transport_->queue(), [this, name] { on_repair_timer_expired(name); });
   }
 
   open_repair_period(name);
@@ -656,7 +672,7 @@ void SrmAgent::on_repair_timer_expired(const DataName& name) {
   RepairState& rs = it->second;
   const auto data = store_.find(name);
   if (data == store_.end()) return;  // lost the data since scheduling
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   trace_adu(trace::EventType::kSrmRepFire, name);
 
   if (!rs.delay_recorded) {
@@ -715,7 +731,7 @@ void SrmAgent::handle_repair(const RepairMessage& msg,
   (void)info;
   ++metrics_.repairs_heard;
   const DataName& name = msg.name();
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   trace_adu(trace::EventType::kSrmRepHear, name, msg.responder());
 
   // Repair-side suppression and hold-down.
@@ -848,7 +864,7 @@ void SrmAgent::send_session_packet(net::MessagePtr msg, int ttl) {
   packet.payload = std::move(msg);
   // Session traffic has its own bandwidth budget (a fraction of the data
   // bandwidth); it does not compete through the data token bucket.
-  network_->multicast(node_, std::move(packet));
+  transport_->multicast(node_, std::move(packet));
   if (config_.session.enabled && started_) schedule_next_session_message();
 }
 
@@ -880,7 +896,7 @@ void SrmAgent::open_request_period(const DataName& name) {
     if (tracer_->wants(trace::Category::kSrm)) {
       trace::Event ev;
       ev.type = trace::EventType::kSrmAdaptReq;
-      ev.t = network_->queue().now();
+      ev.t = transport_->queue().now();
       ev.actor = id_;
       ev.x = c1();
       ev.y = c2();
@@ -911,7 +927,7 @@ void SrmAgent::open_repair_period(const DataName& name) {
     if (tracer_->wants(trace::Category::kSrm)) {
       trace::Event ev;
       ev.type = trace::EventType::kSrmAdaptRep;
-      ev.t = network_->queue().now();
+      ev.t = transport_->queue().now();
       ev.actor = id_;
       ev.x = d1();
       ev.y = d2();
@@ -937,14 +953,14 @@ SrmAgent::Priority SrmAgent::recovery_priority(const DataName& name) const {
 
 void SrmAgent::transmit(net::Packet packet, Priority priority) {
   if (!config_.rate_limit.enabled) {
-    network_->multicast(node_, std::move(packet));
+    transport_->multicast(node_, std::move(packet));
     return;
   }
   const double bytes =
       static_cast<double>(packet.payload ? packet.payload->size_bytes() : 0);
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   if (send_queue_.empty() && rate_limiter_.try_consume(bytes, now)) {
-    network_->multicast(node_, std::move(packet));
+    transport_->multicast(node_, std::move(packet));
     return;
   }
   // Insert keeping the queue ordered by priority band, FIFO within a band.
@@ -966,7 +982,7 @@ void SrmAgent::transmit(net::Packet packet, Priority priority) {
 }
 
 void SrmAgent::drain_send_queue() {
-  const sim::Time now = network_->queue().now();
+  const sim::Time now = transport_->queue().now();
   while (!send_queue_.empty()) {
     const double bytes = static_cast<double>(
         send_queue_.front().packet.payload
@@ -979,7 +995,7 @@ void SrmAgent::drain_send_queue() {
     }
     net::Packet packet = std::move(send_queue_.front().packet);
     send_queue_.pop_front();
-    network_->multicast(node_, std::move(packet));
+    transport_->multicast(node_, std::move(packet));
   }
 }
 

@@ -40,6 +40,7 @@
 #include "net/packet.h"
 #include "sim/event_queue.h"
 #include "sim/timer.h"
+#include "transport/transport.h"
 #include "srm/adaptive.h"
 #include "srm/config.h"
 #include "srm/member_index.h"
@@ -115,7 +116,15 @@ class SrmAgent : public net::PacketSink {
     std::function<void(const std::vector<PageId>&)> on_page_list;
   };
 
+  // Legacy simulator constructor: wraps `network` in an owned per-agent
+  // transport::SimTransport so existing harness/bench/test call sites run
+  // unchanged (and bit-identically — the wrapper is a pure pass-through).
   SrmAgent(net::MulticastNetwork& network, MemberDirectory& directory,
+           net::NodeId node, SourceId id, net::GroupId group,
+           const SrmConfig& config, util::Rng rng);
+  // Backend-agnostic constructor: the agent speaks only through `transport`
+  // (ARCHITECTURE.md §13), which must outlive it.
+  SrmAgent(transport::Transport& transport, MemberDirectory& directory,
            net::NodeId node, SourceId id, net::GroupId group,
            const SrmConfig& config, util::Rng rng);
   ~SrmAgent() override;
@@ -210,8 +219,13 @@ class SrmAgent : public net::PacketSink {
   SourceId id() const { return id_; }
   net::NodeId node() const { return node_; }
   net::GroupId group() const { return group_; }
-  sim::EventQueue& queue() { return network_->queue(); }
-  const sim::EventQueue& queue() const { return network_->queue(); }
+  sim::EventQueue& queue() { return transport_->queue(); }
+  const sim::EventQueue& queue() const { return transport_->queue(); }
+  // The backend this agent speaks through (scripted receive filters, backend
+  // name for diagnostics).  Owned by the agent only when constructed via the
+  // legacy simulator constructor.
+  transport::Transport& transport() { return *transport_; }
+  const transport::Transport& transport() const { return *transport_; }
   const SrmConfig& config() const { return config_; }
   AgentMetrics& metrics() { return metrics_; }
   const AgentMetrics& metrics() const { return metrics_; }
@@ -361,7 +375,7 @@ class SrmAgent : public net::PacketSink {
     if (!tracer_->wants(trace::Category::kSrm)) return;
     trace::Event ev;
     ev.type = type;
-    ev.t = network_->queue().now();
+    ev.t = transport_->queue().now();
     ev.actor = id_;
     ev.a = name.source;
     ev.b = name.page.creator;
@@ -373,8 +387,16 @@ class SrmAgent : public net::PacketSink {
     tracer_->emit(ev);
   }
 
-  // core wiring
-  net::MulticastNetwork* network_;
+  // Tail of both public constructors: `ext` is used when `owned` is null.
+  SrmAgent(std::unique_ptr<transport::Transport> owned,
+           transport::Transport* ext, MemberDirectory& directory,
+           net::NodeId node, SourceId id, net::GroupId group,
+           const SrmConfig& config, util::Rng rng);
+
+  // core wiring (owned_transport_/transport_ must precede every member whose
+  // initializer touches the transport's queue)
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport* transport_;
   MemberDirectory* directory_;
   net::NodeId node_;
   SourceId id_;

@@ -1,0 +1,344 @@
+#include "transport/conformance.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "srm/agent.h"
+#include "srm/config.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+#include "trace/trace.h"
+#include "transport/sim_transport.h"
+#include "transport/udp_transport.h"
+#include "util/rng.h"
+
+namespace srm::transport {
+
+namespace {
+
+constexpr net::GroupId kGroup = 1;
+constexpr PageId kPage{0, 1};
+
+// Both backends run the identical protocol configuration.  Session messages
+// are off and the sim runner opts out of its distance oracle, so every
+// distance is default_distance on both sides and the per-member RNG streams
+// (seeded seed*1000+ordinal) produce identical timer draws.  C2 = 0 keeps
+// the request side deterministic; D2 comes from the scenario (the
+// suppression race wants a randomized repair window).
+SrmConfig scenario_config(const Scenario& scenario) {
+  SrmConfig config;
+  config.timers.c1 = 2.0;
+  config.timers.c2 = 0.0;
+  config.timers.d1 = 1.0;
+  config.timers.d2 = scenario.d2;
+  config.backoff_factor = 3.0;
+  config.distance_mode = DistanceMode::kEstimated;
+  config.default_distance = 0.05;  // decision spacing >> UDP jitter (~2 ms)
+  config.session.enabled = false;
+  return config;
+}
+
+util::Rng member_rng(const Scenario& scenario, std::uint32_t ordinal) {
+  return util::Rng(scenario.seed * 1000 + ordinal);
+}
+
+// Shared receive-side drop script: counts down each rule as it fires.
+class DropScript {
+ public:
+  explicit DropScript(const std::vector<ScriptedDrop>& drops) {
+    for (const auto& d : drops) rules_.push_back({d, 0});
+  }
+
+  bool should_drop(std::uint32_t member, const net::Packet& packet) {
+    if (!packet.payload) return false;
+    const std::uint32_t kind = packet.payload->trace_kind();
+    SeqNo seq = 0;
+    switch (kind) {
+      case 1:
+        seq = static_cast<const DataMessage&>(*packet.payload).name().seq;
+        break;
+      case 2:
+        seq = static_cast<const RequestMessage&>(*packet.payload).name().seq;
+        break;
+      case 3:
+        seq = static_cast<const RepairMessage&>(*packet.payload).name().seq;
+        break;
+      default:
+        return false;
+    }
+    for (auto& [rule, fired] : rules_) {
+      if (rule.at_member == member && rule.kind == kind && rule.seq == seq &&
+          fired < rule.count) {
+        ++fired;
+        ++total_fired_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t total_fired() const { return total_fired_; }
+
+ private:
+  std::vector<std::pair<ScriptedDrop, std::size_t>> rules_;
+  std::size_t total_fired_ = 0;
+};
+
+const char* milestone_name(trace::EventType type) {
+  switch (type) {
+    case trace::EventType::kSrmLoss:
+      return "loss";
+    case trace::EventType::kSrmReqSend:
+      return "req_send";
+    case trace::EventType::kSrmRepSend:
+      return "rep_send";
+    // kSrmRepSuppress is intentionally NOT a milestone: a holder's
+    // suppression and the requestor's recovery are both reactions to the
+    // same repair multicast at *different* members, so their relative order
+    // is genuinely concurrent — it depends on delivery order, which no
+    // backend guarantees.  The suppression count is still compared via the
+    // repair_suppressions field.
+    case trace::EventType::kSrmRecovered:
+      return "recovered";
+    case trace::EventType::kSrmAbandoned:
+      return "abandoned";
+    default:
+      return nullptr;
+  }
+}
+
+ScenarioResult fold_result(const std::vector<trace::Event>& events,
+                           std::size_t scripted_drops) {
+  ScenarioResult result;
+  result.scripted_drops_fired = scripted_drops;
+  const auto timeline = trace::RecoveryTimeline::fold(events);
+  bool all_recovered = !timeline.stories().empty();
+  for (const auto& story : timeline.stories()) {
+    StoryFingerprint fp;
+    fp.adu = story.adu;
+    fp.detections = story.detections;
+    fp.requests_sent = story.requests_sent;
+    fp.request_backoffs = story.request_backoffs;
+    fp.repairs_sent = story.repairs_sent;
+    fp.repair_suppressions = story.repair_suppressions;
+    fp.recoveries = story.recoveries;
+    fp.abandoned = story.abandoned;
+    fp.first_detector = story.first_detector;
+    fp.first_requestor = story.first_requestor;
+    fp.first_responder = story.first_responder;
+    for (const auto& entry : story.entries) {
+      if (const char* name = milestone_name(entry.type)) {
+        fp.milestones.emplace_back(name, entry.actor);
+      }
+    }
+    if (story.recoveries < story.detections || story.abandoned > 0) {
+      all_recovered = false;
+    }
+    result.stories.push_back(std::move(fp));
+  }
+  std::sort(result.stories.begin(), result.stories.end(),
+            [](const StoryFingerprint& a, const StoryFingerprint& b) {
+              return a.adu < b.adu;
+            });
+  result.all_recovered = all_recovered;
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Canonical scenarios
+// ---------------------------------------------------------------------------
+
+std::vector<Scenario> conformance_scenarios() {
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "clean-loss";
+    s.description =
+        "one receiver misses DATA seq 0; exactly one request, one repair";
+    s.members = 2;
+    s.seed = 7;
+    s.drops = {{/*at_member=*/1, /*kind=*/1, /*seq=*/0, /*count=*/1}};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lost-request";
+    s.description =
+        "the first REQUEST is lost at the source; the requestor's backoff "
+        "timer fires and the second request is answered";
+    s.members = 2;
+    s.seed = 11;
+    s.drops = {{1, 1, 0, 1},   // receiver misses DATA seq 0
+               {0, 2, 0, 1}};  // source misses the first REQUEST for it
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lost-repair";
+    s.description =
+        "the first REPAIR is lost at the requestor; the re-request arrives "
+        "after the responder's holddown and draws a second repair";
+    s.members = 2;
+    s.seed = 13;
+    s.drops = {{1, 1, 0, 1},   // receiver misses DATA seq 0
+               {1, 3, 0, 1}};  // ...and the first REPAIR for it
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "repair-suppression";
+    s.description =
+        "two holders race to answer one request; the later timer is "
+        "suppressed by the earlier holder's repair";
+    s.members = 3;
+    s.seed = 5;  // chosen so the two repair draws are well separated
+    s.d2 = 1.0;
+    s.drops = {{1, 1, 0, 1}};  // only member 1 misses DATA seq 0
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backend runners
+// ---------------------------------------------------------------------------
+
+ScenarioResult run_scenario_sim(const Scenario& scenario) {
+  const topo::Star star = topo::make_star(scenario.members, 0.001);
+  sim::EventQueue queue;
+  net::MulticastNetwork network(queue, star.topo);
+  MemberDirectory directory;
+  const SrmConfig config = scenario_config(scenario);
+
+  trace::VectorSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm));
+
+  DropScript script(scenario.drops);
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<SrmAgent>> agents;
+  for (std::uint32_t i = 0; i < scenario.members; ++i) {
+    auto transport = std::make_unique<SimTransport>(network);
+    transport->set_receive_filter(
+        [&script, i](const net::Packet& packet, const net::DeliveryInfo&) {
+          return script.should_drop(i, packet);
+        });
+    auto agent = std::make_unique<SrmAgent>(
+        *transport, directory, star.leaves[i], /*id=*/i, kGroup, config,
+        member_rng(scenario, i));
+    agent->set_tracer(&tracer);
+    agent->start();
+    transports.push_back(std::move(transport));
+    agents.push_back(std::move(agent));
+  }
+
+  for (std::size_t k = 0; k < scenario.sends; ++k) {
+    queue.schedule_at(
+        scenario.first_send + scenario.send_gap * static_cast<double>(k),
+        [&agents, k] {
+          agents[0]->send_data(kPage,
+                               Payload{static_cast<std::uint8_t>(k), 0xAB});
+        });
+  }
+  queue.run_until(scenario.end_time());
+
+  for (auto& agent : agents) agent->stop();
+  return fold_result(sink.events(), script.total_fired());
+}
+
+ScenarioResult run_scenario_udp(const Scenario& scenario) {
+  UdpTransport transport;
+  MemberDirectory directory;
+  const SrmConfig config = scenario_config(scenario);
+
+  trace::VectorSink sink;
+  trace::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm));
+
+  DropScript script(scenario.drops);
+  // One shared filter: on the UDP bus member ordinals are the node ids, so
+  // the delivery's receiver field selects the rule — the same predicate the
+  // sim runner applies per-agent.
+  transport.set_receive_filter(
+      [&script](const net::Packet& packet, const net::DeliveryInfo& info) {
+        return script.should_drop(info.receiver, packet);
+      });
+
+  std::vector<std::unique_ptr<SrmAgent>> agents;
+  for (std::uint32_t i = 0; i < scenario.members; ++i) {
+    auto agent = std::make_unique<SrmAgent>(transport, directory, /*node=*/i,
+                                            /*id=*/i, kGroup, config,
+                                            member_rng(scenario, i));
+    agent->set_tracer(&tracer);
+    agent->start();
+    agents.push_back(std::move(agent));
+  }
+
+  for (std::size_t k = 0; k < scenario.sends; ++k) {
+    transport.queue().schedule_at(
+        scenario.first_send + scenario.send_gap * static_cast<double>(k),
+        [&agents, k] {
+          agents[0]->send_data(kPage,
+                               Payload{static_cast<std::uint8_t>(k), 0xAB});
+        });
+  }
+  transport.run_for(scenario.end_time());
+
+  for (auto& agent : agents) agent->stop();
+  return fold_result(sink.events(), script.total_fired());
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+std::string to_string(const StoryFingerprint& fp) {
+  std::ostringstream os;
+  os << trace::to_string(fp.adu) << ": det=" << fp.detections
+     << " req=" << fp.requests_sent << " backoff=" << fp.request_backoffs
+     << " rep=" << fp.repairs_sent << " suppress=" << fp.repair_suppressions
+     << " recovered=" << fp.recoveries << " abandoned=" << fp.abandoned
+     << " first[det=" << fp.first_detector << " req=" << fp.first_requestor
+     << " rep=" << fp.first_responder << "] [";
+  for (std::size_t i = 0; i < fp.milestones.size(); ++i) {
+    if (i > 0) os << " ";
+    os << fp.milestones[i].first << "@" << fp.milestones[i].second;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string diff_results(const ScenarioResult& sim_result,
+                         const ScenarioResult& udp_result) {
+  std::ostringstream os;
+  if (sim_result.stories.size() != udp_result.stories.size()) {
+    os << "story count differs: sim=" << sim_result.stories.size()
+       << " udp=" << udp_result.stories.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < sim_result.stories.size(); ++i) {
+    const auto& a = sim_result.stories[i];
+    const auto& b = udp_result.stories[i];
+    if (!(a == b)) {
+      os << "story " << i << " differs:\n  sim: " << to_string(a)
+         << "\n  udp: " << to_string(b);
+      return os.str();
+    }
+  }
+  if (sim_result.scripted_drops_fired != udp_result.scripted_drops_fired) {
+    os << "scripted drop count differs: sim="
+       << sim_result.scripted_drops_fired
+       << " udp=" << udp_result.scripted_drops_fired;
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace srm::transport

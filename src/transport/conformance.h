@@ -1,0 +1,120 @@
+// Cross-backend conformance (ARCHITECTURE.md §13): the same scripted loss
+// scenario runs once over SimTransport and once over UdpTransport, both
+// traces fold through trace::RecoveryTimeline, and the per-loss recovery
+// stories are compared as timing-free fingerprints — every milestone
+// (detection, request, backoff, repair, suppression, recovery) with its
+// actor and multiplicity must match; only wall-clock times may differ.
+//
+// Why this is a fair determinism bar: both backends construct agents with
+// identical per-member RNG streams, session messages disabled and
+// DistanceMode::kEstimated, so every timer draw is the same number of
+// seconds on both sides (distance is config.default_distance everywhere —
+// the UDP backend has no oracle, and the sim runner opts out of its own).
+// The scenarios are built so consecutive decision points are separated by
+// O(default_distance) = tens of milliseconds, far above the UDP backend's
+// worst-case timer/delivery jitter (poll granularity, ~2 ms), so the
+// milestone *order* is invariant even though absolute times are not.
+// Scripted loss is injected on the receive side through the shared
+// Transport receive-filter hook, which has identical semantics on both
+// backends by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "srm/names.h"
+#include "trace/timeline.h"
+
+namespace srm::transport {
+
+// One scripted receive-side drop rule: the first `count` messages of `kind`
+// naming ADU seq `seq` that arrive at member ordinal `at_member` are
+// dropped.  Kinds use the srm trace_kind values (1=DATA, 2=REQUEST,
+// 3=REPAIR).
+struct ScriptedDrop {
+  std::uint32_t at_member = 0;
+  std::uint32_t kind = 1;
+  SeqNo seq = 0;
+  std::size_t count = 1;
+};
+
+// A scripted loss scenario.  Member ordinals double as SourceIds (and as
+// node ids on the UDP backend); member 0 is the data source and sends ADUs
+// seq 0..sends-1 on one page, send_gap seconds apart, starting at
+// first_send.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::size_t members = 2;
+  std::uint64_t seed = 1;
+  std::size_t sends = 2;
+  double first_send = 0.25;
+  double send_gap = 0.12;
+  // Repair-timer width D2 (0 = deterministic repair delay; >0 enables the
+  // holder suppression race, decided by the shared RNG draws).
+  double d2 = 0.0;
+  std::vector<ScriptedDrop> drops;
+  // Post-last-send horizon, seconds (virtual on sim, wall on UDP).
+  double settle = 2.0;
+
+  double end_time() const {
+    return first_send + send_gap * static_cast<double>(sends) + settle;
+  }
+};
+
+// The canonical scripted loss scenarios the acceptance criteria reference:
+// clean single loss, lost first request (requestor backoff), lost repair
+// (responder holddown + re-request), and a repair-suppression race between
+// two holders.
+std::vector<Scenario> conformance_scenarios();
+
+// Timing-free digest of one recovery story.
+struct StoryFingerprint {
+  trace::AduKey adu;
+  std::size_t detections = 0;
+  std::size_t requests_sent = 0;
+  std::size_t request_backoffs = 0;
+  std::size_t repairs_sent = 0;
+  std::size_t repair_suppressions = 0;
+  std::size_t recoveries = 0;
+  std::size_t abandoned = 0;
+  std::uint64_t first_detector = 0;
+  std::uint64_t first_requestor = 0;
+  std::uint64_t first_responder = 0;
+  // Ordered (milestone, actor) pairs for the order-sensitive event types:
+  // "loss", "req_send", "rep_send", "recovered", "abandoned".  Repair
+  // suppressions are compared by count only (see repair_suppressions):
+  // a holder's suppression and the requestor's recovery react to the same
+  // repair multicast at different members, so their order is concurrent.
+  std::vector<std::pair<std::string, std::uint64_t>> milestones;
+
+  friend bool operator==(const StoryFingerprint&,
+                         const StoryFingerprint&) = default;
+};
+
+std::string to_string(const StoryFingerprint& fp);
+
+struct ScenarioResult {
+  std::vector<StoryFingerprint> stories;  // sorted by ADU key
+  std::size_t scripted_drops_fired = 0;   // receive-filter hits
+  bool all_recovered = false;             // every story closed, none abandoned
+};
+
+// Runs the scenario on the simulator backend (star topology, one leaf per
+// member, explicit per-agent SimTransport).  Deterministic.
+ScenarioResult run_scenario_sim(const Scenario& scenario);
+
+// Runs the scenario over real UDP multicast on loopback (one shared
+// UdpTransport bus).  Throws TransportError when the environment lacks
+// loopback multicast; gate with UdpTransport::available().
+ScenarioResult run_scenario_udp(const Scenario& scenario);
+
+// Empty when the results agree story-for-story; otherwise a readable
+// description of the first difference.
+std::string diff_results(const ScenarioResult& sim_result,
+                         const ScenarioResult& udp_result);
+
+}  // namespace srm::transport

@@ -1,0 +1,88 @@
+// SimTransport: the Transport backend over the discrete-event simulator
+// (ARCHITECTURE.md §13).  One instance fronts one endpoint (the agent that
+// owns it); it forwards every call to the shared net::MulticastNetwork
+// unchanged and interposes itself as the node's net::PacketSink so the
+// scripted receive filter sees packets before the agent does.
+//
+// With no filter installed this is a pure pass-through — no RNG draws, no
+// event reordering, no extra allocations on the delivery path — which is
+// what keeps sim-backend figure outputs bit-identical to the pre-transport
+// code (the conformance argument in ARCHITECTURE.md §13 leans on this).
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "transport/transport.h"
+
+namespace srm::transport {
+
+class SimTransport final : public Transport, public net::PacketSink {
+ public:
+  explicit SimTransport(net::MulticastNetwork& network) : network_(&network) {}
+
+  sim::EventQueue& queue() override { return network_->queue(); }
+  const sim::EventQueue& queue() const override { return network_->queue(); }
+
+  void attach(net::NodeId node, net::PacketSink* sink) override {
+    sink_ = sink;
+    node_ = node;
+    network_->attach(node, this);
+  }
+
+  void detach(net::NodeId node) override {
+    network_->detach(node);
+    sink_ = nullptr;
+  }
+
+  void join(net::GroupId group, net::NodeId node) override {
+    network_->join(group, node);
+  }
+
+  void leave(net::GroupId group, net::NodeId node) override {
+    network_->leave(group, node);
+  }
+
+  void multicast(net::NodeId from, net::Packet packet) override {
+    network_->multicast(from, std::move(packet));
+  }
+
+  double try_distance(net::NodeId from, net::NodeId to) const override {
+    return network_->try_distance(from, to);
+  }
+
+  std::uint64_t topology_version() const override {
+    return network_->topology().version();
+  }
+
+  void set_receive_filter(ReceiveFilter filter) override {
+    filter_ = std::move(filter);
+  }
+
+  const char* name() const override { return "sim"; }
+
+  // Packets the filter swallowed (scripted receive-side loss).
+  std::uint64_t filtered_drops() const { return filtered_drops_; }
+
+  net::MulticastNetwork& network() { return *network_; }
+
+  // net::PacketSink — the network delivers here; we apply the scripted
+  // filter and hand through to the agent.
+  void on_receive(const net::Packet& packet,
+                  const net::DeliveryInfo& info) override {
+    if (filter_ && filter_(packet, info)) {
+      ++filtered_drops_;
+      return;
+    }
+    if (sink_ != nullptr) sink_->on_receive(packet, info);
+  }
+
+ private:
+  net::MulticastNetwork* network_;
+  net::PacketSink* sink_ = nullptr;
+  net::NodeId node_ = net::kInvalidNode;
+  ReceiveFilter filter_;
+  std::uint64_t filtered_drops_ = 0;
+};
+
+}  // namespace srm::transport

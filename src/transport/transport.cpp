@@ -1,0 +1,7 @@
+#include "transport/transport.h"
+
+namespace srm::transport {
+
+Transport::~Transport() = default;
+
+}  // namespace srm::transport

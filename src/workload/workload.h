@@ -1,0 +1,130 @@
+// Heavy-traffic workload suite (ARCHITECTURE.md §13): deterministic,
+// seeded scripts that drive an SRM session far outside the paper's figure
+// scenarios, runnable over either Transport backend and judged by the
+// fault-layer RecoveryInvariantChecker.
+//
+// A workload is a WorkloadSpec: a protocol config plus a time-sorted list
+// of scripted Actions (sends, joins, leaves/crashes, receive-side drops,
+// page-state probes) generated up front from (members, seed) — the same
+// FaultPlan philosophy: all randomness is spent at generation time, so a
+// run is a pure function of the spec and the backend clock.  Four
+// generators ship:
+//
+//   flash-crowd    a small core session accumulates page history, then a
+//                  crowd of late-joiners arrives within ~a second and hits
+//                  page-state recovery simultaneously
+//   conference     NETRAWALM-style multiparty conference: speakers take
+//                  randomized talk-spurts on their own pages while scripted
+//                  receiver-side drops force recovery under way traffic
+//   diurnal        membership swells (join wave), cruises, then drains
+//                  (graceful leaves + a few crashes) under a steady stream
+//   repair-storm   adversarial: the same DATA packet is dropped at a large
+//                  fraction of members at once, repeatedly — the request/
+//                  repair suppression machinery must keep the storm under
+//                  the checker's sliding-window budget
+//
+// run_workload_sim executes a spec on a harness::SimSession (virtual time,
+// deterministic); run_workload_udp executes the same spec over one
+// UdpTransport bus on loopback (wall time).  Both fold the srm trace into
+// the checker and a trace::RecoveryTimeline for the result's counters,
+// latency percentiles and determinism fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/checker.h"
+#include "srm/config.h"
+#include "srm/names.h"
+
+namespace srm::workload {
+
+struct Action {
+  enum class Kind : std::uint8_t {
+    kSend,      // member multicasts one ADU on `page`
+    kJoin,      // member joins the session
+    kLeave,     // graceful departure
+    kCrash,     // silent departure
+    kDropOnce,  // arm a receive-side drop rule at `member`
+    kPageProbe, // member requests page state (late-join recovery entry)
+  };
+
+  double at = 0.0;
+  Kind kind = Kind::kSend;
+  std::uint32_t member = 0;  // acting member ordinal (0..peak_members-1)
+
+  // kSend / kPageProbe
+  PageId page{0, 1};
+  std::size_t payload_bytes = 64;
+
+  // kDropOnce: drop the next `drop_count` messages of `drop_kind`
+  // (trace_kind: 1=DATA, 2=REQUEST, 3=REPAIR) naming seq `drop_seq` (from
+  // source `drop_source`, kInvalidSource = any) that arrive at `member`.
+  std::uint32_t drop_kind = 1;
+  SeqNo drop_seq = 0;
+  SourceId drop_source = kInvalidSource;
+  std::size_t drop_count = 1;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::size_t initial_members = 2;  // ordinals 0..initial-1 start joined
+  std::size_t peak_members = 2;     // world capacity (ordinal space)
+  std::uint64_t seed = 1;
+  SrmConfig config;
+  std::vector<Action> actions;      // sorted by `at`
+  double duration = 12.0;           // run horizon, seconds
+  fault::CheckerOptions checker;
+};
+
+// Generators.  `members` scales the whole scenario (peak membership);
+// every timestamp, ordinal and drop rule is derived from `seed` alone.
+WorkloadSpec make_flash_crowd(std::size_t members, std::uint64_t seed);
+WorkloadSpec make_conference(std::size_t members, std::uint64_t seed);
+WorkloadSpec make_diurnal(std::size_t members, std::uint64_t seed);
+WorkloadSpec make_repair_storm(std::size_t members, std::uint64_t seed);
+
+// Registered generator names ("flash-crowd", "conference", "diurnal",
+// "repair-storm") and the dispatching factory (throws std::invalid_argument
+// on an unknown name).
+std::vector<std::string> workload_names();
+WorkloadSpec make_workload(const std::string& name, std::size_t members,
+                           std::uint64_t seed);
+
+struct WorkloadResult {
+  fault::CheckerReport checker;
+  bool passed = false;              // checker verdict
+
+  std::size_t actions_executed = 0;
+  std::size_t data_sent = 0;
+  std::size_t joins = 0;
+  std::size_t departures = 0;
+  std::size_t scripted_drops = 0;   // receive-filter hits
+
+  // Timeline totals.
+  std::size_t losses = 0;           // recovery stories opened
+  std::size_t requests = 0;
+  std::size_t repairs = 0;
+  std::size_t recoveries = 0;
+
+  // Detection -> recovery latency percentiles, seconds (virtual time under
+  // sim — deterministic, the values BENCH_workload.json gates on).
+  double recovery_p50 = 0.0;
+  double recovery_p99 = 0.0;
+  double recovery_max = 0.0;
+
+  // Deterministic digest of the folded timeline + counters: two sim runs
+  // of the same spec produce the same fingerprint.
+  std::uint64_t fingerprint = 0;
+};
+
+// Runs on the simulator backend (star topology, sequential kernel).
+WorkloadResult run_workload_sim(const WorkloadSpec& spec);
+
+// Runs over real UDP multicast on loopback; wall-clock duration = spec
+// duration.  Throws transport::TransportError when multicast is
+// unavailable; gate with transport::UdpTransport::available().
+WorkloadResult run_workload_udp(const WorkloadSpec& spec);
+
+}  // namespace srm::workload

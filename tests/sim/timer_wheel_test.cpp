@@ -114,5 +114,103 @@ TEST(BatchTimerWheelTest, OccupancyBoundedByBucketsNotItems) {
   EXPECT_EQ(fired, 1000u);
 }
 
+// The lazy-cancellation contract the hierarchy layer depends on: the wheel
+// never removes an item, so a caller that reschedules encodes an epoch in
+// the item and ignores stale firings in its service callback.  Both the
+// stale and the fresh item must be serviced (the wheel's view), and epoch
+// filtering alone must yield exactly one effective firing (the caller's
+// view) — including when the reschedule lands in the *same* bucket as the
+// stale entry.
+TEST(BatchTimerWheelTest, EpochStampLazyCancelAfterReschedule) {
+  EventQueue q;
+  // item = (id << 32) | epoch, mirroring the session layer's encoding.
+  constexpr std::uint64_t kId = 9;
+  std::uint32_t current_epoch = 0;
+  std::vector<Serviced> serviced;
+  std::vector<Serviced> effective;
+  BatchTimerWheel wheel(q, 1.0, [&](std::uint64_t item) {
+    serviced.push_back({q.now(), item});
+    if (static_cast<std::uint32_t>(item) == current_epoch) {
+      effective.push_back({q.now(), item});
+    }
+  });
+
+  // Epoch 0 scheduled for the t=1 bucket, then "cancelled" by bumping the
+  // epoch and rescheduling into the t=3 bucket.
+  wheel.schedule(0, (kId << 32) | 0, 0.5);
+  current_epoch = 1;
+  wheel.schedule(0, (kId << 32) | 1, 2.5);
+  EXPECT_EQ(wheel.pending_items(), 2u);  // the stale item is still queued
+
+  q.run();
+  ASSERT_EQ(serviced.size(), 2u);  // wheel fires both, caller filters
+  EXPECT_EQ(serviced[0].t, 1.0);
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(effective[0].t, 3.0);
+  EXPECT_EQ(static_cast<std::uint32_t>(effective[0].item), 1u);
+
+  // Same dance with both epochs landing in one bucket: service order is
+  // ascending item order, and only the fresh epoch survives the filter.
+  serviced.clear();
+  effective.clear();
+  current_epoch = 2;
+  wheel.schedule(0, (kId << 32) | 2, 4.2);
+  current_epoch = 3;
+  wheel.schedule(0, (kId << 32) | 3, 4.8);  // same (lane, bucket) as epoch 2
+  EXPECT_EQ(wheel.pending_buckets(), 1u);
+  q.run();
+  ASSERT_EQ(serviced.size(), 2u);
+  EXPECT_EQ(serviced[0].t, 5.0);
+  EXPECT_EQ(serviced[1].t, 5.0);
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint32_t>(effective[0].item), 3u);
+}
+
+// Bucket reuse across reporting rounds at different area counts: the
+// hierarchy layer re-partitions and comes back with more (or fewer) lanes,
+// and a (lane, bucket) key that already fired must be freshly insertable.
+// Heap occupancy tracks the lane count of the current round, not the member
+// count and not the history of past rounds.
+TEST(BatchTimerWheelTest, BucketReuseAcrossAreaCounts) {
+  EventQueue q;
+  std::size_t fired = 0;
+  BatchTimerWheel wheel(q, 1.0, [&](std::uint64_t) { ++fired; });
+
+  const std::size_t kMembers = 300;
+  // Round 1: 4 areas, members round-robined onto area lanes, one common
+  // reporting boundary.
+  for (std::uint64_t m = 0; m < kMembers; ++m) {
+    wheel.schedule(static_cast<std::uint32_t>(m % 4), m, 0.7);
+  }
+  EXPECT_EQ(wheel.pending_items(), kMembers);
+  EXPECT_EQ(wheel.pending_buckets(), 4u);
+  EXPECT_EQ(q.pending_events(), 4u);
+  q.run();
+  EXPECT_EQ(fired, kMembers);
+  EXPECT_EQ(wheel.pending_buckets(), 0u);
+
+  // Round 2: the partition grew to 10 areas; lane 0..3 keys (same bucket
+  // arithmetic as round 1 modulo width) are reused after having fired.
+  fired = 0;
+  for (std::uint64_t m = 0; m < kMembers; ++m) {
+    wheel.schedule(static_cast<std::uint32_t>(m % 10), m, q.now() + 0.7);
+  }
+  EXPECT_EQ(wheel.pending_buckets(), 10u);
+  EXPECT_EQ(q.pending_events(), 10u);
+  q.run();
+  EXPECT_EQ(fired, kMembers);
+
+  // Round 3: shrink to one area; occupancy follows the live lane count.
+  fired = 0;
+  for (std::uint64_t m = 0; m < kMembers; ++m) {
+    wheel.schedule(0, m, q.now() + 0.7);
+  }
+  EXPECT_EQ(wheel.pending_buckets(), 1u);
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.run();
+  EXPECT_EQ(fired, kMembers);
+  EXPECT_EQ(wheel.pending_items(), 0u);
+}
+
 }  // namespace
 }  // namespace srm::sim

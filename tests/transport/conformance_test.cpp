@@ -1,0 +1,127 @@
+// Backend conformance: the scripted loss scenarios must produce the same
+// per-loss recovery story on the sim and UDP backends (modulo wall-clock
+// timing), and the sim-side stories must have the structure each scenario
+// was built to exercise.
+#include "transport/conformance.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/udp_transport.h"
+
+namespace srm::transport {
+namespace {
+
+const Scenario& find_scenario(const std::vector<Scenario>& all,
+                              const std::string& name) {
+  for (const auto& s : all) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "scenario not registered: " << name;
+  static Scenario dummy;
+  return dummy;
+}
+
+TEST(Conformance, RegistersAtLeastThreeScenarios) {
+  EXPECT_GE(conformance_scenarios().size(), 3u);
+}
+
+TEST(Conformance, SimRunsAreDeterministic) {
+  for (const auto& scenario : conformance_scenarios()) {
+    const auto a = run_scenario_sim(scenario);
+    const auto b = run_scenario_sim(scenario);
+    EXPECT_EQ(diff_results(a, b), "") << scenario.name;
+  }
+}
+
+TEST(Conformance, CleanLossStory) {
+  const auto all = conformance_scenarios();
+  const auto result = run_scenario_sim(find_scenario(all, "clean-loss"));
+  ASSERT_EQ(result.stories.size(), 1u);
+  const auto& story = result.stories[0];
+  EXPECT_EQ(story.detections, 1u);
+  EXPECT_EQ(story.requests_sent, 1u);
+  EXPECT_EQ(story.request_backoffs, 0u);
+  EXPECT_EQ(story.repairs_sent, 1u);
+  EXPECT_EQ(story.recoveries, 1u);
+  EXPECT_EQ(story.abandoned, 0u);
+  EXPECT_EQ(story.first_detector, 1u);
+  EXPECT_EQ(story.first_responder, 0u);
+  EXPECT_TRUE(result.all_recovered);
+  EXPECT_EQ(result.scripted_drops_fired, 1u);
+}
+
+TEST(Conformance, LostRequestForcesBackoff) {
+  const auto all = conformance_scenarios();
+  const auto result = run_scenario_sim(find_scenario(all, "lost-request"));
+  ASSERT_EQ(result.stories.size(), 1u);
+  const auto& story = result.stories[0];
+  // The first request was eaten, so the requestor's own timer refired and
+  // sent again (own re-sends are req_send milestones; kSrmReqBackoff is
+  // reserved for suppression-heard requests).
+  EXPECT_GE(story.requests_sent, 2u);
+  std::size_t req_sends = 0;
+  for (const auto& [name, actor] : story.milestones) {
+    if (name == "req_send") ++req_sends;
+  }
+  EXPECT_GE(req_sends, 2u);
+  EXPECT_EQ(story.recoveries, 1u);
+  EXPECT_TRUE(result.all_recovered);
+}
+
+TEST(Conformance, LostRepairDrawsSecondRepair) {
+  const auto all = conformance_scenarios();
+  const auto result = run_scenario_sim(find_scenario(all, "lost-repair"));
+  ASSERT_EQ(result.stories.size(), 1u);
+  const auto& story = result.stories[0];
+  EXPECT_GE(story.repairs_sent, 2u);  // first repair was eaten
+  EXPECT_EQ(story.recoveries, 1u);
+  EXPECT_TRUE(result.all_recovered);
+}
+
+TEST(Conformance, SuppressionScenarioRecovers) {
+  const auto all = conformance_scenarios();
+  const auto result =
+      run_scenario_sim(find_scenario(all, "repair-suppression"));
+  ASSERT_EQ(result.stories.size(), 1u);
+  const auto& story = result.stories[0];
+  // Two holders race; exactly one repair reaches the wire and the loser is
+  // either suppressed pre-send or held down.
+  EXPECT_EQ(story.detections, 1u);
+  EXPECT_EQ(story.recoveries, 1u);
+  EXPECT_GE(story.repairs_sent, 1u);
+  EXPECT_TRUE(result.all_recovered);
+}
+
+// The acceptance bar: per-loss recovery stories match across backends on
+// every registered scenario.  One scenario per TEST so a flaky environment
+// pinpoints which script diverged.
+class CrossBackend : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossBackend, StoriesMatch) {
+  if (!UdpTransport::available()) {
+    GTEST_SKIP() << "loopback multicast unavailable";
+  }
+  const auto all = conformance_scenarios();
+  ASSERT_LT(GetParam(), all.size());
+  const Scenario& scenario = all[GetParam()];
+  const auto sim_result = run_scenario_sim(scenario);
+  const auto udp_result = run_scenario_udp(scenario);
+  EXPECT_EQ(diff_results(sim_result, udp_result), "")
+      << "scenario: " << scenario.name;
+  EXPECT_TRUE(sim_result.all_recovered) << scenario.name;
+  EXPECT_TRUE(udp_result.all_recovered) << scenario.name;
+}
+
+std::string scenario_test_name(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  static const char* const kNames[] = {"clean_loss", "lost_request",
+                                       "lost_repair", "repair_suppression"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, CrossBackend,
+                         ::testing::Range<std::size_t>(0, 4),
+                         scenario_test_name);
+
+}  // namespace
+}  // namespace srm::transport

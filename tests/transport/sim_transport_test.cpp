@@ -1,0 +1,114 @@
+// SimTransport: the pass-through backend must preserve the simulator's
+// delivery semantics exactly and add only the receive-filter interposer.
+#include "transport/sim_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+#include "srm/messages.h"
+#include "topo/builders.h"
+
+namespace srm::transport {
+namespace {
+
+struct Capture final : net::PacketSink {
+  std::vector<net::Packet> packets;
+  std::vector<net::DeliveryInfo> infos;
+  void on_receive(const net::Packet& packet,
+                  const net::DeliveryInfo& info) override {
+    packets.push_back(packet);
+    infos.push_back(info);
+  }
+};
+
+net::Packet make_data(net::NodeId source, SeqNo seq) {
+  net::Packet p;
+  p.source = source;
+  p.group = 1;
+  p.payload = std::make_shared<DataMessage>(
+      DataName{/*source=*/0, PageId{0, 1}, seq}, nullptr);
+  return p;
+}
+
+TEST(SimTransport, DeliversThroughNetworkWithOracleMetadata) {
+  const topo::Star star = topo::make_star(2, /*link_delay=*/0.5);
+  sim::EventQueue queue;
+  net::MulticastNetwork network(queue, star.topo);
+
+  SimTransport sender(network);
+  SimTransport receiver(network);
+  Capture sink;
+  sender.attach(star.leaves[0], nullptr);
+  receiver.attach(star.leaves[1], &sink);
+  sender.join(1, star.leaves[0]);
+  receiver.join(1, star.leaves[1]);
+
+  sender.multicast(star.leaves[0], make_data(star.leaves[0], 0));
+  queue.run();
+
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.infos[0].receiver, star.leaves[1]);
+  EXPECT_DOUBLE_EQ(sink.infos[0].path_delay, 1.0);  // two 0.5 s hops
+  EXPECT_EQ(sink.infos[0].hops, 2);
+  // The sim backend exposes the topology oracle.
+  EXPECT_DOUBLE_EQ(sender.try_distance(star.leaves[0], star.leaves[1]), 1.0);
+  EXPECT_EQ(sender.topology_version(), network.topology().version());
+  EXPECT_STREQ(sender.name(), "sim");
+}
+
+TEST(SimTransport, ReceiveFilterDropsMatchingPackets) {
+  const topo::Star star = topo::make_star(2, 0.1);
+  sim::EventQueue queue;
+  net::MulticastNetwork network(queue, star.topo);
+
+  SimTransport sender(network);
+  SimTransport receiver(network);
+  Capture sink;
+  sender.attach(star.leaves[0], nullptr);
+  receiver.attach(star.leaves[1], &sink);
+  sender.join(1, star.leaves[0]);
+  receiver.join(1, star.leaves[1]);
+
+  receiver.set_receive_filter(
+      [](const net::Packet& packet, const net::DeliveryInfo&) {
+        const auto& msg = static_cast<const DataMessage&>(*packet.payload);
+        return msg.name().seq == 0;  // drop only seq 0
+      });
+
+  sender.multicast(star.leaves[0], make_data(star.leaves[0], 0));
+  sender.multicast(star.leaves[0], make_data(star.leaves[0], 1));
+  queue.run();
+
+  ASSERT_EQ(sink.packets.size(), 1u);
+  const auto& got = static_cast<const DataMessage&>(*sink.packets[0].payload);
+  EXPECT_EQ(got.name().seq, 1u);
+  EXPECT_EQ(receiver.filtered_drops(), 1u);
+  EXPECT_EQ(sender.filtered_drops(), 0u);  // filter is per-endpoint
+}
+
+TEST(SimTransport, DetachStopsDelivery) {
+  const topo::Star star = topo::make_star(2, 0.1);
+  sim::EventQueue queue;
+  net::MulticastNetwork network(queue, star.topo);
+
+  SimTransport sender(network);
+  SimTransport receiver(network);
+  Capture sink;
+  sender.attach(star.leaves[0], nullptr);
+  receiver.attach(star.leaves[1], &sink);
+  sender.join(1, star.leaves[0]);
+  receiver.join(1, star.leaves[1]);
+
+  receiver.leave(1, star.leaves[1]);
+  receiver.detach(star.leaves[1]);
+  sender.multicast(star.leaves[0], make_data(star.leaves[0], 0));
+  queue.run();
+  EXPECT_TRUE(sink.packets.empty());
+}
+
+}  // namespace
+}  // namespace srm::transport
