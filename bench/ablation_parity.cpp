@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     const auto congested = harness::link_adjacent_to_source(
         session.network().routing(), source, members);
     auto drop = std::make_shared<net::RandomDrop>(
-        loss, util::Rng(seed ^ 0xF00D), [](const net::Packet& p) {
+        loss, seed ^ 0xF00D, [](const net::Packet& p) {
           return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
         });
     drop->restrict_to(congested.from, congested.to);

@@ -4,12 +4,15 @@
 // to completion on the sequential kernel and then on the region-partitioned
 // kernel at increasing worker counts.
 //
-// Reports events/second per configuration and records a "pdes_kernel"
-// section into BENCH_kernel.json.  Throughput keys (*_per_second, speedup*)
-// are machine-dependent and exempt from the check_bench gate; the
-// deterministic keys (events_total, virtual_makespan_us) are gated — they
-// must not drift, because the parallel kernel's whole claim is that the
-// event order is equivalent to the sequential kernel's.
+// Runs two panels: the scripted-loss scenario ("pdes_kernel" section) and
+// the same scenario with a keyed Gilbert-Elliott chain in the fault policy
+// slot ("pdes_stochastic" section) so every hop performs stochastic draws —
+// the load profile the counter-based RNG keying exists for.  Throughput
+// keys (*_per_second, speedup*) are machine-dependent and exempt from the
+// check_bench gate; the deterministic keys (events_total,
+// virtual_makespan_us, stochastic_drops_total) must not drift, because the
+// parallel kernel's whole claim is that the event order is equivalent to
+// the sequential kernel's.
 //
 // --pdes-verify additionally diffs the aggregate network statistics and
 // final virtual clock of every parallel run against the sequential run and
@@ -57,6 +60,10 @@ struct Scenario {
   std::uint64_t seed = 7;
   std::size_t packets = 40;
   std::uint32_t kernel_regions = 0;
+  // Adds a keyed Gilbert-Elliott chain in the fault policy slot on top of
+  // the scripted drops: every hop of every walk performs stochastic draws,
+  // which is the load profile the counter-based RNG keying exists for.
+  bool stochastic = false;
 };
 
 // Runs the scenario to completion on one kernel configuration.
@@ -89,6 +96,13 @@ RunOutcome run_scenario(const Scenario& sc, unsigned kernel_threads) {
         /*max_drops=*/std::size_t{1} << 30));
   }
   session.network().set_drop_policy(drops);
+  if (sc.stochastic) {
+    net::GilbertElliottDrop::Params ge;
+    ge.p_good_bad = 0.02;  // rare, short bursts: recovery still terminates
+    ge.p_bad_good = 0.5;
+    session.network().set_fault_drop_policy(
+        std::make_shared<net::GilbertElliottDrop>(ge, sc.seed ^ 0x6E5EEDull));
+  }
 
   // Staggered bursts: each source sends `packets` data packets 250 ms
   // apart, sources offset by 40 ms, all scheduled up front on the control
@@ -115,6 +129,7 @@ RunOutcome run_scenario(const Scenario& sc, unsigned kernel_threads) {
   out.regions = session.region_map().count;
   out.lookahead = session.region_map().lookahead;
   session.network().set_drop_policy(nullptr);
+  if (sc.stochastic) session.network().set_fault_drop_policy(nullptr);
   return out;
 }
 
@@ -147,57 +162,21 @@ std::vector<std::string> diff_outcomes(const RunOutcome& seq,
   return diffs;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace srm;
-  const util::Flags flags(argc, argv);
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 1500));
-  const auto member_count =
-      static_cast<std::size_t>(flags.get_int("members", 300));
-  const auto source_count =
-      static_cast<std::size_t>(flags.get_int("sources", 8));
-  const auto packets = static_cast<std::size_t>(flags.get_int("packets", 40));
-  const auto kernel_regions =
-      static_cast<std::uint32_t>(flags.get_int("kernel-regions", 0));
-  const auto max_threads =
-      static_cast<unsigned>(flags.get_int("max-threads", 4));
-  const bool verify = flags.get_bool("pdes-verify", false);
-  const std::uint64_t seed = flags.get_seed(7);
-
-  Scenario sc;
-  sc.seed = seed;
-  sc.packets = packets;
-  sc.kernel_regions = kernel_regions;
-  sc.config = bench::paper_sim_config(paper_fixed_params(member_count));
-
-  util::Rng rng(seed);
-  sc.topo = topo::make_bounded_degree_tree(nodes, 4);
-  std::vector<net::NodeId> all(nodes);
-  for (std::size_t i = 0; i < nodes; ++i) all[i] = static_cast<net::NodeId>(i);
-  rng.shuffle(all);
-  sc.members.assign(all.begin(), all.begin() + static_cast<long>(member_count));
-  std::sort(sc.members.begin(), sc.members.end());
-  sc.sources.assign(sc.members.begin(),
-                    sc.members.begin() + static_cast<long>(source_count));
-
-  bench::print_header("pdes_kernel: parallel kernel throughput", seed,
-                      std::to_string(nodes) + " nodes / " +
-                          std::to_string(member_count) + " members / " +
-                          std::to_string(source_count) + " sources x " +
-                          std::to_string(packets) + " packets");
-
+// One full panel: sequential reference, thread sweep, equivalence diffs,
+// perf-JSON section.  Returns false on any sequential/parallel mismatch.
+bool run_panel(const Scenario& sc, unsigned max_threads,
+               const std::string& json_path, const std::string& section) {
   const RunOutcome seq = run_scenario(sc, 0);
   std::cout << "sequential: " << seq.events << " events in "
             << util::Table::num(seq.wall_seconds, 3) << "s ("
             << util::Table::num(seq.events / seq.wall_seconds / 1e6, 2)
             << " M events/s), virtual end "
-            << util::Table::num(seq.virtual_end, 1) << "s\n";
+            << util::Table::num(seq.virtual_end, 1) << "s, "
+            << seq.stats.drops << " drops\n";
 
   util::Table table({"kernel threads", "regions", "events", "wall (s)",
                      "events/s", "speedup vs seq"});
-  const std::string path = flags.get_string("bench-json", "BENCH_kernel.json");
-  util::PerfJson json(path, "pdes_kernel");
+  util::PerfJson json(json_path, section);
   json.set("seq_events_per_second",
            static_cast<double>(seq.events) / seq.wall_seconds);
 
@@ -242,10 +221,70 @@ int main(int argc, char** argv) {
   json.set("events_total", static_cast<double>(pdes_events));
   json.set("virtual_makespan_us", virtual_end * 1e6);
   json.set("regions", static_cast<double>(regions));
-  if (!path.empty()) {
-    json.save();
-    std::cout << "\n[perf] " << path << " updated (pdes_kernel section)\n";
+  if (sc.stochastic) {
+    // Keyed draws make the drop count deterministic across kernels and
+    // thread counts; recorded (like events_total) for mechanical diffing.
+    json.set("stochastic_drops_total", static_cast<double>(seq.stats.drops));
   }
+  if (!json_path.empty()) {
+    json.save();
+    std::cout << "\n[perf] " << json_path << " updated (" << section
+              << " section)\n";
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srm;
+  const util::Flags flags(argc, argv);
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 1500));
+  const auto member_count =
+      static_cast<std::size_t>(flags.get_int("members", 300));
+  const auto source_count =
+      static_cast<std::size_t>(flags.get_int("sources", 8));
+  const auto packets = static_cast<std::size_t>(flags.get_int("packets", 40));
+  const auto kernel_regions =
+      static_cast<std::uint32_t>(flags.get_int("kernel-regions", 0));
+  const auto max_threads =
+      static_cast<unsigned>(flags.get_int("max-threads", 4));
+  const bool verify = flags.get_bool("pdes-verify", false);
+  const std::uint64_t seed = flags.get_seed(7);
+
+  Scenario sc;
+  sc.seed = seed;
+  sc.packets = packets;
+  sc.kernel_regions = kernel_regions;
+  sc.config = bench::paper_sim_config(paper_fixed_params(member_count));
+
+  util::Rng rng(seed);
+  sc.topo = topo::make_bounded_degree_tree(nodes, 4);
+  std::vector<net::NodeId> all(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) all[i] = static_cast<net::NodeId>(i);
+  rng.shuffle(all);
+  sc.members.assign(all.begin(), all.begin() + static_cast<long>(member_count));
+  std::sort(sc.members.begin(), sc.members.end());
+  sc.sources.assign(sc.members.begin(),
+                    sc.members.begin() + static_cast<long>(source_count));
+
+  bench::print_header("pdes_kernel: parallel kernel throughput", seed,
+                      std::to_string(nodes) + " nodes / " +
+                          std::to_string(member_count) + " members / " +
+                          std::to_string(source_count) + " sources x " +
+                          std::to_string(packets) + " packets");
+
+  const std::string path = flags.get_string("bench-json", "BENCH_kernel.json");
+  bool ok = run_panel(sc, max_threads, path, "pdes_kernel");
+
+  // Same scenario with a keyed Gilbert-Elliott chain consulted on every
+  // hop: stochastic loss on all cores.  Separate section so the regression
+  // gate tracks the keyed-draw overhead independently.
+  std::cout << "\npdes_stochastic: scripted drops + keyed Gilbert-Elliott "
+               "background loss\n";
+  Scenario stoch = std::move(sc);
+  stoch.stochastic = true;
+  ok = run_panel(stoch, max_threads, path, "pdes_stochastic") && ok;
 
   if (verify) {
     std::cout << "pdes-verify: "

@@ -88,8 +88,9 @@ Flags (defaults in brackets):
                   fixed when comparing thread counts)       [0]
   --pdes-verify   run the scenario on the sequential AND
                   parallel kernels and compare per-round
-                  stats; exits non-zero on any mismatch
-                  (incompatible with --faults)              [false]
+                  stats; with --faults also diffs the full
+                  trace across parallel thread counts;
+                  exits non-zero on any mismatch            [false]
   --workload      run a heavy-traffic workload instead of
                   the loss rounds: flash-crowd | conference
                   | diurnal | repair-storm, judged by the
@@ -288,25 +289,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  // Stochastic drop policies (RandomDrop, GilbertElliottDrop) draw from a
-  // single RNG stream whose consumption order would depend on worker
-  // interleaving, so they are sequential-kernel only (net/drop_policy.h).
-  // A plan with burst epochs therefore forces the sequential kernel; say so
-  // explicitly rather than silently serializing (or silently racing).
-  if (kernel_threads > 0) {
-    for (const auto& event : fault_plan.events()) {
-      if (event.kind == fault::FaultEvent::Kind::kBurstOn) {
-        std::cout << "srmsim: --faults plan schedules stochastic loss "
-                     "(burst_on installs a GilbertElliottDrop, which — like "
-                     "RandomDrop — is PDES-unsafe); ignoring --kernel-threads="
-                  << kernel_threads_flag
-                  << " and running the sequential kernel\n";
-        kernel_threads = 0;
-        break;
-      }
-    }
-  }
-
   util::Rng rng(seed);
   BuiltTopology built = build_topology(kind, nodes, degree, edges, rng);
   if (member_count == 0 || member_count > built.candidates.size()) {
@@ -346,8 +328,123 @@ int main(int argc, char** argv) {
     // harness measures.  The parallel kernel's claim is event-order
     // equivalence, so the comparison is exact — including the double-valued
     // delay statistics, which must match bit for bit.
+    const unsigned kt = kernel_threads > 0 ? kernel_threads : 1;
+    std::vector<std::string> diffs;
+    const auto stat_diff = [&](const char* what, std::uint64_t x,
+                               std::uint64_t y) {
+      if (x != y) {
+        std::ostringstream os;
+        os << "network " << what << ": sequential " << x << " vs parallel "
+           << y;
+        diffs.push_back(os.str());
+      }
+    };
     if (!fault_plan.empty()) {
-      std::cerr << "srmsim: --pdes-verify is incompatible with --faults\n";
+      // With a fault plan the scenario includes stochastic (keyed
+      // Gilbert-Elliott) loss, churn, and partitions.  Three runs: the
+      // sequential kernel, the parallel kernel at 1 thread, and at the
+      // requested thread count.  The parallel runs must produce
+      // bit-identical merged traces (the strongest claim); the parallel
+      // run must match the sequential one on network stats and on every
+      // recovery-invariant-checker counter.
+      struct FaultModeResult {
+        std::vector<trace::Event> events;
+        net::NetworkStats stats;
+        fault::CheckerReport report;
+        std::size_t disrupted = 0;
+      };
+      const auto run_fault_mode = [&](unsigned kthreads) {
+        FaultModeResult mr;
+        harness::SimSession::Options opts{cfg, seed, /*group=*/1};
+        opts.kernel_threads = kthreads;
+        opts.kernel_regions = kernel_regions;
+        harness::SimSession session(net::Topology(built.topo), members, opts);
+        trace::VectorSink capture;
+        trace::Tracer vtracer;
+        vtracer.set_sink(&capture);
+        vtracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm) |
+                         static_cast<std::uint32_t>(trace::Category::kFault));
+        session.set_tracer(&vtracer);
+        fault::FaultInjector injector(
+            session.queue(), session.mutable_topology(), session.network(),
+            fault_plan, session.rng().fork());
+        injector.set_membership_hooks(harness::membership_hooks(session));
+        injector.set_tracer(session.control_tracer());
+        injector.arm();
+        util::Rng pick(seed * 2 + 1);
+        const net::NodeId src = members[pick.index(members.size())];
+        harness::RoundSpec rspec;
+        rspec.source_node = src;
+        rspec.congested = harness::choose_congested_link(
+            session.network().routing(), src, members, pick);
+        rspec.page = PageId{static_cast<SourceId>(src), 0};
+        for (int r = 0; r < rounds; ++r) {
+          try {
+            harness::run_loss_round(session, rspec,
+                                    static_cast<SeqNo>(r) * 2);
+          } catch (const std::exception&) {
+            ++mr.disrupted;  // the plan ate the round; all runs must agree
+          }
+        }
+        fault::CheckerOptions copts;
+        copts.deadline = fault_deadline;
+        mr.report = fault::RecoveryInvariantChecker(copts).check(
+            capture.events(), injector.disruption_windows(),
+            session.queue().now());
+        mr.events = capture.events();
+        mr.stats = session.network_stats();
+        return mr;
+      };
+      const FaultModeResult seq = run_fault_mode(0);
+      const FaultModeResult p1 = run_fault_mode(1);
+      const FaultModeResult pkt = run_fault_mode(kt);
+      const auto events_equal = [](const trace::Event& a,
+                                   const trace::Event& b) {
+        return a.type == b.type && a.t == b.t && a.actor == b.actor &&
+               a.a == b.a && a.b == b.b && a.c == b.c && a.d == b.d &&
+               a.e == b.e && a.x == b.x && a.y == b.y;
+      };
+      if (p1.events.size() != pkt.events.size()) {
+        std::ostringstream os;
+        os << "parallel trace length: 1-thread " << p1.events.size()
+           << " events vs " << kt << "-thread " << pkt.events.size();
+        diffs.push_back(os.str());
+      } else {
+        for (std::size_t i = 0; i < p1.events.size(); ++i) {
+          if (!events_equal(p1.events[i], pkt.events[i])) {
+            std::ostringstream os;
+            os << "parallel traces diverge at event " << i << " (t="
+               << p1.events[i].t << " vs t=" << pkt.events[i].t << ")";
+            diffs.push_back(os.str());
+            break;
+          }
+        }
+      }
+      stat_diff("multicasts", seq.stats.multicasts_sent,
+                pkt.stats.multicasts_sent);
+      stat_diff("unicasts", seq.stats.unicasts_sent, pkt.stats.unicasts_sent);
+      stat_diff("link transmissions", seq.stats.link_transmissions,
+                pkt.stats.link_transmissions);
+      stat_diff("deliveries", seq.stats.deliveries, pkt.stats.deliveries);
+      stat_diff("drops", seq.stats.drops, pkt.stats.drops);
+      stat_diff("checker losses", seq.report.losses, pkt.report.losses);
+      stat_diff("checker recovered", seq.report.recovered,
+                pkt.report.recovered);
+      stat_diff("checker storm violations", seq.report.storm_violations,
+                pkt.report.storm_violations);
+      stat_diff("checker verdict", seq.report.passed ? 1 : 0,
+                pkt.report.passed ? 1 : 0);
+      stat_diff("disrupted rounds", seq.disrupted, pkt.disrupted);
+      if (diffs.empty()) {
+        std::cout << "pdes-verify: OK (fault plan, " << p1.events.size()
+                  << "-event trace bit-identical at 1 vs " << kt
+                  << " threads; stats and recovery invariants match the "
+                     "sequential kernel)\n";
+        return 0;
+      }
+      std::cout << "pdes-verify: MISMATCH (" << diffs.size()
+                << " differences)\n";
+      for (const std::string& d : diffs) std::cout << "  " << d << "\n";
       return 1;
     }
     struct ModeResult {
@@ -410,10 +507,8 @@ int main(int argc, char** argv) {
       mr.stats = session.network_stats();
       return mr;
     };
-    const unsigned kt = kernel_threads > 0 ? kernel_threads : 1;
     const ModeResult seq = run_mode(0);
     const ModeResult par = run_mode(kt);
-    std::vector<std::string> diffs;
     for (int r = 0; r < rounds; ++r) {
       const harness::RoundResult& a = seq.rounds[static_cast<std::size_t>(r)];
       const harness::RoundResult& b = par.rounds[static_cast<std::size_t>(r)];
@@ -448,15 +543,6 @@ int main(int argc, char** argv) {
                         " repair-time vectors differ");
       }
     }
-    const auto stat_diff = [&](const char* what, std::uint64_t x,
-                               std::uint64_t y) {
-      if (x != y) {
-        std::ostringstream os;
-        os << "network " << what << ": sequential " << x << " vs parallel "
-           << y;
-        diffs.push_back(os.str());
-      }
-    };
     stat_diff("multicasts", seq.stats.multicasts_sent,
               par.stats.multicasts_sent);
     stat_diff("unicasts", seq.stats.unicasts_sent, par.stats.unicasts_sent);

@@ -25,11 +25,12 @@ note is printed, and nothing is gated — committing the current JSON makes
 it the baseline.  A requested section present in neither file is an error
 (almost certainly a typo in the CI config).
 
-Direction is also section-aware: the ``pdes_kernel`` section's throughput
-keys (``*_per_second``, ``speedup*``) depend on the CI runner's core count
-and are skipped, while its deterministic keys (``events_total`` implicitly,
-``*_us`` explicitly) stay gated — the parallel kernel promises event-order
-equivalence, so those must not drift at all.
+Direction is also section-aware: the ``pdes_kernel`` and ``pdes_stochastic``
+sections' throughput keys (``*_per_second``, ``speedup*``) depend on the CI
+runner's core count and are skipped, while their deterministic keys
+(``events_total`` implicitly, ``*_us`` explicitly) stay gated — the
+parallel kernel promises event-order equivalence, with or without keyed
+stochastic loss, so those must not drift at all.
 
 Usage:
   scripts/check_bench.py --baseline BENCH_kernel.json --current /tmp/k.json
@@ -48,7 +49,7 @@ SKIP_KEYS = {"threads", "replications", "rounds", "regions"}
 
 # Sections whose throughput keys scale with the runner's thread count, not
 # with code quality: only their deterministic (virtual-time) keys are gated.
-THREAD_SCALED_SECTIONS = {"pdes_kernel"}
+THREAD_SCALED_SECTIONS = {"pdes_kernel", "pdes_stochastic"}
 
 
 def direction(key, section=""):

@@ -54,10 +54,11 @@ def test_direction_skips_plain_counters():
 
 
 def test_thread_scaled_section_skips_throughput_keeps_virtual_time():
-    section = next(iter(check_bench.THREAD_SCALED_SECTIONS))
-    assert check_bench.direction("events_per_second", section) is None
-    assert check_bench.direction("speedup_4_threads", section) is None
-    assert check_bench.direction("merge_p99_us", section) == "down"
+    for section in ("pdes_kernel", "pdes_stochastic"):
+        assert section in check_bench.THREAD_SCALED_SECTIONS
+        assert check_bench.direction("events_per_second", section) is None
+        assert check_bench.direction("speedup_4_threads", section) is None
+        assert check_bench.direction("merge_p99_us", section) == "down"
     # The same keys gate normally outside the thread-scaled sections.
     assert check_bench.direction("events_per_second", "workload_suite") == "up"
 

@@ -14,7 +14,7 @@ FaultInjector::FaultInjector(sim::EventQueue& queue, net::Topology& topology,
       topo_(&topology),
       network_(&network),
       plan_(std::move(plan)),
-      rng_(std::move(rng)),
+      burst_seed_(rng.next_u64()),
       cuts_(plan_.partition_count()) {
   if (&network.topology() != &topology) {
     throw std::invalid_argument(
@@ -198,8 +198,14 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
     }
     case FaultEvent::Kind::kBurstOn: {
+      // Epoch seeds are keyed by the burst ordinal (deterministic: plan
+      // application is serialized on the event queue in plan order), not
+      // forked off a shared stream — an epoch's loss pattern is a pure
+      // function of (base seed, ordinal) no matter what else ran before it.
       network_->set_fault_drop_policy(
-          std::make_shared<net::GilbertElliottDrop>(event.burst, rng_.fork()));
+          std::make_shared<net::GilbertElliottDrop>(
+              event.burst,
+              util::keyed_u64(burst_seed_, burst_ordinal_++, 0, 0)));
       if (!burst_active_) {
         burst_active_ = true;
         open_disruption();

@@ -31,15 +31,16 @@
 //               hooks that construct/stop SrmAgents (leave is graceful,
 //               crash is silent, join and rejoin are identical at this
 //               layer).
-//   burst_on:   install a seeded GilbertElliottDrop in the network's fault
+//   burst_on:   install a keyed GilbertElliottDrop in the network's fault
 //               drop-policy slot (separate from the experiment's scripted
-//               policy slot); burst_off clears it.
+//               policy slot), seeded by (base seed, epoch ordinal);
+//               burst_off clears it.
 //
 // Every applied event emits a fault-category trace event, which is how the
 // RecoveryInvariantChecker (fault/checker.h) learns where the disruption
-// windows lie.  Determinism: the plan is sorted by (time, plan order), the
-// injector draws randomness only from its own forked Rng (the burst policy),
-// and cut links are computed in link-id order.
+// windows lie.  Determinism: the plan is sorted by (time, plan order), burst
+// policies are seeded by (base seed, epoch ordinal) rather than a consumed
+// stream, and cut links are computed in link-id order.
 #pragma once
 
 #include <cstdint>
@@ -85,9 +86,12 @@ class FaultInjector {
     double end = std::numeric_limits<double>::infinity();
   };
 
-  // `topology` must be the same object `network` forwards over.  The rng
-  // seeds burst-loss policies; everything else in the injector is
-  // deterministic replay of the plan.
+  // `topology` must be the same object `network` forwards over.  The rng is
+  // collapsed to a single base seed at construction; each burst epoch's
+  // GilbertElliottDrop is seeded by keyed_u64(base, epoch ordinal), so fault
+  // plans replay bit-identically regardless of how epochs interleave with
+  // other events (no shared stream to consume in order).  Everything else in
+  // the injector is deterministic replay of the plan.
   FaultInjector(sim::EventQueue& queue, net::Topology& topology,
                 net::MulticastNetwork& network, FaultPlan plan,
                 util::Rng rng);
@@ -140,7 +144,8 @@ class FaultInjector {
   net::Topology* topo_;
   net::MulticastNetwork* network_;
   FaultPlan plan_;
-  util::Rng rng_;
+  std::uint64_t burst_seed_;     // base seed for per-epoch keyed GE seeds
+  std::uint64_t burst_ordinal_ = 0;  // burst_on events applied so far
   MembershipHooks hooks_;
   EpochObserver epoch_observer_;
   trace::Tracer* tracer_ = &trace::Tracer::null();

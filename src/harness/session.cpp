@@ -32,6 +32,12 @@ SimSession::SimSession(net::Topology topo,
     region_map_ = net::partition_regions(topo_, target);
     kernel_ = std::make_unique<sim::ParallelKernel>(region_map_.count,
                                                     region_map_.lookahead);
+    if (region_map_.count > 1) {
+      // Per-pair delay bounds widen the asynchronous windows beyond the
+      // uniform lookahead for regions that are far apart in the topology.
+      kernel_->set_region_distances(
+          net::region_distance_matrix(topo_, region_map_));
+    }
     nets_.reserve(region_map_.count);
     for (std::uint32_t r = 0; r < region_map_.count; ++r) {
       nets_.push_back(std::make_unique<net::MulticastNetwork>(

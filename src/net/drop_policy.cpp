@@ -5,6 +5,23 @@
 
 namespace srm::net {
 
+namespace {
+
+// Key-space salts: one per draw family so RandomDrop decisions, GE loss
+// decisions and GE chain transitions sharing a seed never collide.
+constexpr std::uint64_t kSaltRandomDrop = 1;
+constexpr std::uint64_t kSaltGeLoss = 2;
+constexpr std::uint64_t kSaltGeTransition = 3;
+
+// Stable coordinate for a directed link traversal: the (undirected) link id
+// plus a direction bit.
+std::uint64_t directed_edge_key(const HopContext& hop) {
+  return (static_cast<std::uint64_t>(hop.link) << 1) |
+         (hop.from > hop.to ? 1u : 0u);
+}
+
+}  // namespace
+
 ScriptedLinkDrop::ScriptedLinkDrop(NodeId from, NodeId to, Predicate match,
                                    std::size_t max_drops)
     : from_(from), to_(to), match_(std::move(match)), max_drops_(max_drops) {
@@ -29,8 +46,8 @@ void ScriptedLinkDrop::rearm(std::size_t max_drops) {
   max_drops_ = max_drops;
 }
 
-RandomDrop::RandomDrop(double rate, util::Rng rng, Predicate match)
-    : rate_(rate), rng_(std::move(rng)), match_(std::move(match)) {
+RandomDrop::RandomDrop(double rate, std::uint64_t seed, Predicate match)
+    : rate_(rate), seed_(seed), match_(std::move(match)) {
   if (rate < 0.0 || rate > 1.0) {
     throw std::invalid_argument("RandomDrop: rate outside [0,1]");
   }
@@ -45,8 +62,13 @@ void RandomDrop::restrict_to(NodeId from, NodeId to) {
 bool RandomDrop::should_drop(const Packet& packet, const HopContext& hop) {
   if (restricted_ && (hop.from != from_ || hop.to != to_)) return false;
   if (match_ && !match_(packet)) return false;
-  if (!rng_.chance(rate_)) return false;
-  ++drops_;
+  // Pure function of (seed, directed edge, transmission): keyed_unit is in
+  // [0, 1), so rate 0 never drops and rate 1 always does.
+  if (util::keyed_unit(seed_, directed_edge_key(hop), hop.packet_ordinal,
+                       kSaltRandomDrop) >= rate_) {
+    return false;
+  }
+  drops_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -57,7 +79,7 @@ void CompositeDrop::add(std::shared_ptr<DropPolicy> policy) {
 
 bool CompositeDrop::should_drop(const Packet& packet, const HopContext& hop) {
   bool drop = false;
-  // Every policy sees every hop so stateful policies stay in sync even when
+  // Every policy sees every hop so drop accounting stays complete even when
   // an earlier policy already decided to drop.
   for (const auto& p : policies_) {
     if (p->should_drop(packet, hop)) drop = true;
@@ -65,14 +87,21 @@ bool CompositeDrop::should_drop(const Packet& packet, const HopContext& hop) {
   return drop;
 }
 
-GilbertElliottDrop::GilbertElliottDrop(Params params, util::Rng rng,
+void CompositeDrop::prepare(std::size_t link_count) {
+  for (const auto& p : policies_) p->prepare(link_count);
+}
+
+GilbertElliottDrop::GilbertElliottDrop(Params params, std::uint64_t seed,
                                        Predicate match)
-    : params_(params), rng_(std::move(rng)), match_(std::move(match)) {
+    : params_(params), seed_(seed), match_(std::move(match)) {
   const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
   if (!in_unit(params_.p_good_bad) || !in_unit(params_.p_bad_good) ||
       !in_unit(params_.loss_good) || !in_unit(params_.loss_bad)) {
     throw std::invalid_argument(
         "GilbertElliottDrop: probability outside [0,1]");
+  }
+  if (!(params_.slot_dt > 0.0)) {
+    throw std::invalid_argument("GilbertElliottDrop: slot_dt must be > 0");
   }
 }
 
@@ -82,16 +111,61 @@ void GilbertElliottDrop::restrict_to(NodeId from, NodeId to) {
   to_ = to;
 }
 
+void GilbertElliottDrop::prepare(std::size_t link_count) {
+  if (link_count <= chain_.size()) return;
+  std::vector<std::atomic<std::uint64_t>> grown(link_count);
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    grown[i].store(chain_[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  chain_ = std::move(grown);
+}
+
+bool GilbertElliottDrop::chain_state(LinkId link, std::uint64_t slot) {
+  if (link >= chain_.size()) {
+    // Lazy growth: only reachable when the policy is consulted without a
+    // prepare() call (standalone use), which is sequential by construction —
+    // the network always prepares at install time, before parallel walks.
+    prepare(static_cast<std::size_t>(link) + 1);
+  }
+  std::atomic<std::uint64_t>& memo = chain_[link];
+  const std::uint64_t cached = memo.load(std::memory_order_relaxed);
+  std::uint64_t k = 0;
+  bool bad = false;  // every link starts in the good state at slot 0
+  if (cached != 0) {
+    const std::uint64_t cached_slot = (cached >> 1) - 1;
+    if (cached_slot <= slot) {
+      k = cached_slot;
+      bad = (cached & 1u) != 0;
+    }
+  }
+  for (; k < slot; ++k) {
+    const double flip = bad ? params_.p_bad_good : params_.p_good_bad;
+    if (util::keyed_unit(seed_, link, k, kSaltGeTransition) < flip) {
+      bad = !bad;
+    }
+  }
+  memo.store(((slot + 1) << 1) | (bad ? 1u : 0u), std::memory_order_relaxed);
+  return bad;
+}
+
+bool GilbertElliottDrop::in_bad_state(LinkId link, double at) {
+  return chain_state(link, static_cast<std::uint64_t>(at / params_.slot_dt));
+}
+
 bool GilbertElliottDrop::should_drop(const Packet& packet,
                                      const HopContext& hop) {
   if (restricted_ && (hop.from != from_ || hop.to != to_)) return false;
   if (match_ && !match_(packet)) return false;
-  // Loss draw first (for the state we are in), then the transition draw.
-  const bool drop = rng_.chance(bad_ ? params_.loss_bad : params_.loss_good);
-  const bool flip = rng_.chance(bad_ ? params_.p_bad_good : params_.p_good_bad);
-  if (flip) bad_ = !bad_;
-  if (drop) ++drops_;
-  return drop;
+  const auto slot = static_cast<std::uint64_t>(hop.now / params_.slot_dt);
+  const bool bad = chain_state(hop.link, slot);
+  const double loss = bad ? params_.loss_bad : params_.loss_good;
+  if (util::keyed_unit(seed_, directed_edge_key(hop), hop.packet_ordinal,
+                       kSaltGeLoss) >= loss) {
+    return false;
+  }
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void CompositeDropPolicy::add(std::shared_ptr<DropPolicy> policy) {
@@ -107,6 +181,10 @@ bool CompositeDropPolicy::should_drop(const Packet& packet,
     if (p->should_drop(packet, hop)) return true;
   }
   return false;
+}
+
+void CompositeDropPolicy::prepare(std::size_t link_count) {
+  for (const auto& p : policies_) p->prepare(link_count);
 }
 
 }  // namespace srm::net

@@ -8,16 +8,22 @@
 // real multicast forwarding drop would.
 //
 // Parallel-kernel (PDES) note: under --kernel-threads every region's walks
-// consult the same policy object concurrently.  NoDrop and ScriptedLinkDrop
-// (atomic budget; one predicate-matching packet stream originates from one
-// region at a time) are PDES-safe.  RandomDrop and GilbertElliottDrop draw
-// from a single RNG stream whose consumption order would depend on worker
-// interleaving — they are sequential-kernel only, and SimSession rejects
-// them indirectly: scenarios that need stochastic loss must run with
-// kernel_threads == 0.
+// consult the same policy object concurrently, so every policy here is a
+// pure function of stable hop coordinates plus at most atomic counters.
+// NoDrop and ScriptedLinkDrop use an atomic budget; RandomDrop and
+// GilbertElliottDrop key every stochastic draw by (seed, directed edge,
+// packet ordinal) through util::keyed_u64 — no shared RNG stream exists, so
+// the decision a given hop consultation produces is identical no matter
+// which worker, region, or interleaving executes the walk.  The Gilbert-
+// Elliott channel state is a time-slotted per-link Markov chain evaluated
+// as a pure function of (seed, link, slot); a relaxed-atomic memo per link
+// caches the last computed (slot, state) pair purely as an optimization
+// (every recomputation yields the same value, so racing writers are
+// harmless).  All policies are PDES-safe.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -28,10 +34,17 @@
 
 namespace srm::net {
 
+// One directed link traversal of one transmission.  `packet_ordinal` is the
+// per-source transmission counter composed with the sending node id (stable
+// across kernels: a node's sends execute in the same order under every
+// thread count), and `now` is the send time of the walk consulting the
+// policy — both are pure coordinates for keyed stochastic draws.
 struct HopContext {
   LinkId link;
   NodeId from;
   NodeId to;
+  std::uint64_t packet_ordinal = 0;
+  double now = 0.0;
 };
 
 class DropPolicy {
@@ -39,6 +52,10 @@ class DropPolicy {
   virtual ~DropPolicy() = default;
   // Returns true if this packet should be dropped on this directed hop.
   virtual bool should_drop(const Packet& packet, const HopContext& hop) = 0;
+  // Called by the network when the policy is installed, before any
+  // concurrent consultation, so per-link state can be sized up front
+  // (resizing during a parallel walk would race).  Default: no-op.
+  virtual void prepare(std::size_t link_count) { (void)link_count; }
 };
 
 // Never drops anything.
@@ -75,28 +92,33 @@ class ScriptedLinkDrop final : public DropPolicy {
 };
 
 // Drops packets matching an (optional) predicate with fixed probability on
-// every hop, or only on one directed link if specified.
+// every hop, or only on one directed link if specified.  Each decision is
+// keyed_unit(seed, directed edge, packet ordinal) < rate — a pure function,
+// so the same transmission crossing the same hop drops identically in every
+// kernel and the policy shares safely across concurrent region walks.
 class RandomDrop final : public DropPolicy {
  public:
   using Predicate = std::function<bool(const Packet&)>;
 
-  RandomDrop(double rate, util::Rng rng, Predicate match = nullptr);
+  RandomDrop(double rate, std::uint64_t seed, Predicate match = nullptr);
 
   // Restricts loss to a single directed link.
   void restrict_to(NodeId from, NodeId to);
 
   bool should_drop(const Packet& packet, const HopContext& hop) override;
 
-  std::size_t drops_so_far() const { return drops_; }
+  std::size_t drops_so_far() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   double rate_;
-  util::Rng rng_;
+  std::uint64_t seed_;
   Predicate match_;
   bool restricted_ = false;
   NodeId from_ = kInvalidNode;
   NodeId to_ = kInvalidNode;
-  std::size_t drops_ = 0;
+  std::atomic<std::size_t> drops_{0};
 };
 
 // Applies several policies in order; drops if any of them drops.
@@ -104,62 +126,80 @@ class CompositeDrop final : public DropPolicy {
  public:
   void add(std::shared_ptr<DropPolicy> policy);
   bool should_drop(const Packet& packet, const HopContext& hop) override;
+  void prepare(std::size_t link_count) override;
 
  private:
   std::vector<std::shared_ptr<DropPolicy>> policies_;
 };
 
-// Stateful bursty loss: the Gilbert-Elliott two-state Markov model.  The
-// channel alternates between a "good" state (loss probability loss_good,
-// usually 0) and a "bad" state (loss probability loss_bad, usually 1);
-// per consulted hop it first draws the loss decision for the current state,
-// then draws the state transition.  Exactly two RNG draws happen on every
-// consulted hop regardless of outcome, so drop decisions never perturb the
-// stream consumed by later hops (determinism across config tweaks).
+// Bursty loss: the Gilbert-Elliott two-state Markov model.  Each link is an
+// independent channel alternating between a "good" state (loss probability
+// loss_good, usually 0) and a "bad" state (loss probability loss_bad,
+// usually 1).  The chain is time-slotted: the state during slot k (of width
+// slot_dt seconds) is a pure function of (seed, link, k), obtained by
+// advancing the per-slot transition draws from slot 0 (all links start
+// good).  The per-hop loss decision is keyed by (seed, directed edge,
+// packet ordinal) under the current slot's state.  Pure coordinates mean no
+// draw-order dependence: the policy composes with the parallel kernel and
+// replays bit-identically at any thread count.
 class GilbertElliottDrop final : public DropPolicy {
  public:
   using Predicate = std::function<bool(const Packet&)>;
 
   struct Params {
-    double p_good_bad = 0.05;  // P(good -> bad) per consulted hop
-    double p_bad_good = 0.25;  // P(bad -> good) per consulted hop
+    double p_good_bad = 0.05;  // P(good -> bad) per slot
+    double p_bad_good = 0.25;  // P(bad -> good) per slot
     double loss_good = 0.0;    // loss probability while in the good state
     double loss_bad = 1.0;     // loss probability while in the bad state
+    double slot_dt = 0.5;      // chain slot width in simulated seconds
 
     friend bool operator==(const Params&, const Params&) = default;
   };
 
-  GilbertElliottDrop(Params params, util::Rng rng, Predicate match = nullptr);
+  GilbertElliottDrop(Params params, std::uint64_t seed,
+                     Predicate match = nullptr);
 
-  // Restricts loss to a single directed link (state still advances only on
-  // hops over that link).
+  // Restricts loss to a single directed link.
   void restrict_to(NodeId from, NodeId to);
 
   bool should_drop(const Packet& packet, const HopContext& hop) override;
+  // Sizes the per-link chain memos; links beyond this count grow lazily,
+  // which is only safe before concurrent consultation begins.
+  void prepare(std::size_t link_count) override;
 
-  bool in_bad_state() const { return bad_; }
-  std::size_t drops_so_far() const { return drops_; }
+  // Channel state of `link` during the slot containing time `at`.
+  bool in_bad_state(LinkId link, double at);
+  std::size_t drops_so_far() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
 
  private:
+  bool chain_state(LinkId link, std::uint64_t slot);
+
   Params params_;
-  util::Rng rng_;
+  std::uint64_t seed_;
   Predicate match_;
   bool restricted_ = false;
   NodeId from_ = kInvalidNode;
   NodeId to_ = kInvalidNode;
-  bool bad_ = false;  // start in the good state
-  std::size_t drops_ = 0;
+  // Per-link memo of the last evaluated (slot, state), packed as
+  // ((slot + 1) << 1) | bad with 0 meaning "unset".  The chain is a pure
+  // function of (seed, link, slot), so concurrent stores can only disagree
+  // on *which* correct value is cached, never on correctness.
+  std::vector<std::atomic<std::uint64_t>> chain_;
+  std::atomic<std::size_t> drops_{0};
 };
 
 // First-match composition: policies are consulted in add() order and the
 // first one that drops short-circuits the rest.  Use this when a scripted
-// one-shot drop should not also advance (or be masked by) a background
+// one-shot drop should not also count against (or be masked by) a background
 // stochastic policy; contrast CompositeDrop, which feeds every hop to every
 // policy.
 class CompositeDropPolicy final : public DropPolicy {
  public:
   void add(std::shared_ptr<DropPolicy> policy);
   bool should_drop(const Packet& packet, const HopContext& hop) override;
+  void prepare(std::size_t link_count) override;
 
   std::size_t size() const { return policies_.size(); }
 

@@ -23,7 +23,8 @@ MulticastNetwork::MulticastNetwork(sim::EventQueue& queue,
       routing_(topo),
       sinks_(topo.node_count(), nullptr),
       drop_policy_(std::make_shared<NoDrop>()),
-      attached_(topo.node_count(), 0) {}
+      attached_(topo.node_count(), 0),
+      send_ordinal_(topo.node_count(), 0) {}
 
 void MulticastNetwork::enable_pdes(sim::ParallelKernel* kernel,
                                    const RegionMap* map,
@@ -117,13 +118,17 @@ const std::vector<NodeId>& MulticastNetwork::members(GroupId g) const {
 }
 
 void MulticastNetwork::set_drop_policy(std::shared_ptr<DropPolicy> policy) {
+  // Size any per-link policy state now, while no walk is consulting it
+  // (installation is only legal from setup or a serialized phase).
+  if (policy) policy->prepare(topo_->link_count());
   if (peers_.empty()) {
     set_drop_policy_local(std::move(policy));
     return;
   }
-  // Every region consults the same policy object, so stateful policies
-  // (scripted drop budgets) count globally exactly as they do sequentially;
-  // see drop_policy.h for which policies are PDES-safe.
+  // Every region consults the same policy object: stateful budgets count
+  // globally exactly as they do sequentially, and every stochastic policy
+  // keys its draws by stable hop coordinates (drop_policy.h), so sharing
+  // the object across concurrent walks is race-free.
   for (MulticastNetwork* p : peers_) p->set_drop_policy_local(policy);
 }
 
@@ -134,6 +139,7 @@ void MulticastNetwork::set_drop_policy_local(
 
 void MulticastNetwork::set_fault_drop_policy(
     std::shared_ptr<DropPolicy> policy) {
+  if (policy) policy->prepare(topo_->link_count());
   if (peers_.empty()) {
     fault_drop_policy_ = std::move(policy);
     return;
@@ -389,7 +395,8 @@ const MulticastNetwork::PrunedTree& MulticastNetwork::pruned_scoped(
 }
 
 bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
-                                   const LinkEnd& edge, NodeId from) {
+                                   const LinkEnd& edge, NodeId from,
+                                   std::uint64_t packet_ordinal) {
   const auto trace_hop = [&](trace::EventType type, std::uint64_t d) {
     if (!tracer_->wants(trace::Category::kNet)) return;
     trace::Event ev;
@@ -418,7 +425,11 @@ bool MulticastNetwork::hop_allowed(const Packet& packet, int ttl_at_from,
               static_cast<std::uint64_t>(ttl_at_from));
     return false;
   }
-  const HopContext hop{edge.link, from, edge.peer};
+  // The walk consults at send time, so queue_->now() and the per-source
+  // transmission ordinal are stable coordinates for keyed stochastic draws —
+  // identical in the sequential and parallel kernels.
+  const HopContext hop{edge.link, from, edge.peer, packet_ordinal,
+                       queue_->now()};
   // Primary policy first; the fault slot is only consulted when the primary
   // passes, so a scripted round drop does not also advance burst-loss state.
   if (drop_policy_->should_drop(packet, hop) ||
@@ -494,6 +505,10 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
   }
   packet.source = from;
   ++stats_.multicasts_sent;
+  // Per-source transmission ordinal: a node's sends execute in the same
+  // order under every kernel (its events all live in its own region's
+  // queue), so this counter is a stable coordinate for keyed drop draws.
+  const std::uint64_t packet_ordinal = next_send_ordinal(from);
   if (send_observer_) send_observer_(from, packet);
   if (tracer_->wants(trace::Category::kNet)) {
     trace::Event ev;
@@ -554,7 +569,7 @@ void MulticastNetwork::multicast(NodeId from, Packet packet) {
       if (hop_allowed(pkt, st.ttl,
                       LinkEnd{edge.child, edge.link, edge.delay,
                               edge.threshold},
-                      s.node)) {
+                      s.node, packet_ordinal)) {
         child = WalkState{st.delay + edge.delay, st.ttl - 1, st.hops + 1,
                           false};
       } else {
@@ -788,6 +803,7 @@ void MulticastNetwork::invalidate_in_flight_local(LinkId link) {
 void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
   packet.source = from;
   ++stats_.unicasts_sent;
+  const std::uint64_t packet_ordinal = next_send_ordinal(from);
   if (send_observer_) send_observer_(from, packet);
   if (tracer_->wants(trace::Category::kNet)) {
     trace::Event ev;
@@ -808,7 +824,9 @@ void MulticastNetwork::unicast(NodeId from, NodeId to, Packet packet) {
     const LinkId lid = topo_->link_between(p[i], p[i + 1]);
     const Link& l = topo_->link(lid);
     LinkEnd edge{p[i + 1], lid, l.delay, l.threshold};
-    if (!hop_allowed(packet, ttl, edge, p[i])) return;  // dropped en route
+    if (!hop_allowed(packet, ttl, edge, p[i], packet_ordinal)) {
+      return;  // dropped en route
+    }
     delay += l.delay;
     --ttl;
   }

@@ -235,8 +235,16 @@ class MulticastNetwork {
   void leave_local(GroupId g, NodeId n);
   void set_drop_policy_local(std::shared_ptr<DropPolicy> policy);
   void invalidate_in_flight_local(LinkId link);
-  bool hop_allowed(const Packet& packet, int ttl_at_from,
-                   const LinkEnd& edge, NodeId from);
+  bool hop_allowed(const Packet& packet, int ttl_at_from, const LinkEnd& edge,
+                   NodeId from, std::uint64_t packet_ordinal);
+  // Composes the sending node with its per-source transmission counter into
+  // the stable packet ordinal keyed drop policies consume.  Deterministic
+  // across kernels: a node's sends all flow through the network owning its
+  // region, in event-order-equivalent order.
+  std::uint64_t next_send_ordinal(NodeId from) {
+    return (static_cast<std::uint64_t>(from) << 40) |
+           (send_ordinal_[from]++ & ((std::uint64_t{1} << 40) - 1));
+  }
   // True if the cached SPT path src -> dst traverses `link` (either
   // direction).  Used only by invalidate_in_flight.
   bool path_uses_link(NodeId src, NodeId dst, LinkId link);
@@ -347,6 +355,10 @@ class MulticastNetwork {
   // must see remote receivers exactly as a sequential walk would see their
   // sinks.  In sequential mode attached_[n] mirrors sinks_[n] != nullptr.
   std::vector<std::uint8_t> attached_;
+  // Per-source transmission counters feeding next_send_ordinal().  Indexed
+  // by sender; only the network owning the sender's region ever increments
+  // a given slot, so no synchronization is needed.
+  std::vector<std::uint64_t> send_ordinal_;
   std::vector<std::vector<RemoteChain>> inboxes_;  // [origin region]
   std::uint64_t remote_seq_ = 0;
   std::vector<RemoteChain> remote_merge_scratch_;

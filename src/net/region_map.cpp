@@ -161,4 +161,34 @@ RegionMap partition_regions(const Topology& topo, std::uint32_t target) {
   return map;
 }
 
+std::vector<std::vector<double>> region_distance_matrix(const Topology& topo,
+                                                        const RegionMap& map) {
+  const std::size_t regions = map.count;
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> d(regions,
+                                     std::vector<double>(regions, inf));
+  for (std::size_t r = 0; r < regions; ++r) d[r][r] = 0.0;
+  // Direct edges: minimum delay over every link (up or down) joining the
+  // pair.
+  for (const Link& l : topo.links()) {
+    const std::uint32_t a = map.of[l.a];
+    const std::uint32_t b = map.of[l.b];
+    if (a == b) continue;
+    d[a][b] = std::min(d[a][b], l.delay);
+    d[b][a] = std::min(d[b][a], l.delay);
+  }
+  // Metric closure: a relay through region k is still a chain of cut
+  // crossings, so the closure stays a valid lower bound and gains the
+  // triangle inequality.
+  for (std::size_t k = 0; k < regions; ++k) {
+    for (std::size_t i = 0; i < regions; ++i) {
+      if (d[i][k] == inf) continue;
+      for (std::size_t j = 0; j < regions; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
 }  // namespace srm::net

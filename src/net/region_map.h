@@ -46,4 +46,17 @@ struct RegionMap {
 // sequentially".
 RegionMap partition_regions(const Topology& topo, std::uint32_t target);
 
+// Per-region-pair delay lower bounds for the parallel kernel's asynchronous
+// windows: d[s][r] is the metric closure (Floyd-Warshall) over the region
+// graph whose s-r edge weight is the minimum delay of any link joining the
+// two regions directly.  Any physical path from region s into region r
+// crosses one cut link per region boundary, so its delay is bounded below
+// by d[s][r]; intra-region hops only add to it.  Down links count (a
+// healed link must not deliver faster than the windows assumed), so the
+// matrix is a static function of the graph like the partition itself.
+// d[r][r] = 0; pairs with no connecting path are +infinity; every
+// off-diagonal reachable entry is >= map.lookahead.
+std::vector<std::vector<double>> region_distance_matrix(const Topology& topo,
+                                                        const RegionMap& map);
+
 }  // namespace srm::net

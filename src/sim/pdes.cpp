@@ -35,6 +35,30 @@ ParallelKernel::ParallelKernel(std::size_t regions, double lookahead)
   lanes_.assign(regions, std::vector<std::vector<Mail>>(regions + 1));
   lane_seq_.assign(regions + 1, 0);
   drain_hooks_.assign(regions, {});
+  drain_scratch_.resize(regions);
+}
+
+void ParallelKernel::set_region_distances(std::vector<std::vector<double>> d) {
+  const std::size_t regions = queues_.size();
+  if (d.size() != regions) {
+    throw std::invalid_argument(
+        "ParallelKernel::set_region_distances: matrix is not RxR");
+  }
+  for (std::size_t s = 0; s < regions; ++s) {
+    if (d[s].size() != regions) {
+      throw std::invalid_argument(
+          "ParallelKernel::set_region_distances: matrix is not RxR");
+    }
+    for (std::size_t r = 0; r < regions; ++r) {
+      // An off-diagonal entry below the uniform lookahead would claim mail
+      // can arrive faster than the partition's own cut bound — a wiring bug.
+      if (s != r && !(d[s][r] >= lookahead_) && regions > 1) {
+        throw std::invalid_argument(
+            "ParallelKernel::set_region_distances: entry below lookahead");
+      }
+    }
+  }
+  dist_ = std::move(d);
 }
 
 Time ParallelKernel::now() const {
@@ -49,10 +73,12 @@ void ParallelKernel::post(std::size_t from, std::size_t to, Time when,
   assert(to < queues_.size());
   assert(lane <= queues_.size());
   // The conservative-safety contract: a region may only reach another
-  // region at least `lookahead` into the future.  (Floating-point addition
-  // of non-negative delays is monotone, so path-delay sums that include an
-  // inter-region link satisfy this exactly, not just approximately.)
-  assert(from == kGlobalRegion || when >= queues_[from]->now() + lookahead_);
+  // region at least its pair lower bound into the future.  (Floating-point
+  // addition of non-negative delays is monotone, so path-delay sums that
+  // include an inter-region link satisfy this exactly, not just
+  // approximately.)
+  assert(from == kGlobalRegion ||
+         when >= queues_[from]->now() + min_delay(from, to));
   lanes_[to][lane].push_back(Mail{when, lane, lane_seq_[lane]++, std::move(fn)});
 }
 
@@ -63,38 +89,34 @@ void ParallelKernel::set_drain_hook(std::size_t r, std::function<void()> hook) {
 std::uint64_t ParallelKernel::drain_all() {
   std::uint64_t drained = 0;
   for (std::size_t to = 0; to < queues_.size(); ++to) {
-    drain_scratch_.clear();
-    for (std::vector<Mail>& lane : lanes_[to]) {
-      for (Mail& m : lane) drain_scratch_.push_back(std::move(m));
-      lane.clear();
-    }
-    if (!drain_scratch_.empty()) {
+    std::vector<Mail>& scratch = drain_scratch_[to];
+    scratch.clear();  // keeps capacity: steady state never reallocates
+    std::size_t incoming = 0;
+    for (const std::vector<Mail>& lane : lanes_[to]) incoming += lane.size();
+    if (incoming != 0) {
+      scratch.reserve(incoming);
+      for (std::vector<Mail>& lane : lanes_[to]) {
+        for (Mail& m : lane) scratch.push_back(std::move(m));
+        lane.clear();
+      }
       // Deterministic merge order: (arrival time, source lane, post order).
       // Destination seqs are allocated in this order, so the region's
       // execution is independent of which worker produced each message.
-      std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+      std::sort(scratch.begin(), scratch.end(),
                 [](const Mail& a, const Mail& b) {
                   if (a.when != b.when) return a.when < b.when;
                   if (a.from_lane != b.from_lane) return a.from_lane < b.from_lane;
                   return a.seq < b.seq;
                 });
-      for (Mail& m : drain_scratch_) {
+      for (Mail& m : scratch) {
         queues_[to]->schedule_at(m.when, std::move(m.fn));
         ++drained;
       }
-      drain_scratch_.clear();
+      scratch.clear();
     }
     if (drain_hooks_[to]) drain_hooks_[to]();
   }
   return drained;
-}
-
-Time ParallelKernel::region_floor() {
-  Time m = kInf;
-  for (const std::unique_ptr<EventQueue>& q : queues_) {
-    m = std::min(m, q->next_event_time());
-  }
-  return m;
 }
 
 std::uint64_t ParallelKernel::executed_events() const {
@@ -116,12 +138,15 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
   // the shared atomic cursor, execute each claimed region's window on the
   // calling worker's thread, and the last one out signals the coordinator.
   // All queue state crosses threads only through `mu`, which gives the
-  // happens-before edges ThreadSanitizer (and the hardware) need.
+  // happens-before edges ThreadSanitizer (and the hardware) need.  The
+  // per-region window bounds in `win` are written by the coordinator alone,
+  // strictly before the round advances (same mutex), so workers read them
+  // race-free without holding the lock.
   std::mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
   std::uint64_t round = 0;
-  Time window_end = 0.0;
+  std::vector<Time> win(region_count, 0.0);
   std::atomic<std::size_t> next_region{0};
   std::atomic<std::uint64_t> window_events{0};
   unsigned active = 0;
@@ -134,20 +159,18 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
       pool.emplace_back([&] {
         std::uint64_t seen = 0;
         for (;;) {
-          Time w;
           {
             std::unique_lock<std::mutex> lk(mu);
             cv_work.wait(lk, [&] { return shutdown || round != seen; });
             if (shutdown) return;
             seen = round;
-            w = window_end;
           }
           std::uint64_t n = 0;
           for (;;) {
             const std::size_t r =
                 next_region.fetch_add(1, std::memory_order_relaxed);
             if (r >= region_count) break;
-            n += queues_[r]->run_before(w);
+            n += queues_[r]->run_before(win[r]);
           }
           window_events.fetch_add(n, std::memory_order_relaxed);
           {
@@ -159,11 +182,11 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
     }
   }
 
-  auto run_window = [&](Time w) -> std::uint64_t {
+  auto run_windows = [&]() -> std::uint64_t {
     if (workers <= 1) {
       std::uint64_t n = 0;
-      for (const std::unique_ptr<EventQueue>& q : queues_) {
-        n += q->run_before(w);
+      for (std::size_t r = 0; r < region_count; ++r) {
+        n += queues_[r]->run_before(win[r]);
       }
       return n;
     }
@@ -171,7 +194,6 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
     next_region.store(0, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu);
-      window_end = w;
       active = workers;
       ++round;
     }
@@ -183,9 +205,43 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
     return window_events.load(std::memory_order_relaxed);
   };
 
+  // Any coordinator-side throw (a drain hook surfacing a scheduling bug,
+  // say) must still join the pool: a joinable std::thread destructor calls
+  // std::terminate and would eat the real diagnostic.
+  auto stop_pool = [&] {
+    if (pool.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : pool) t.join();
+    pool.clear();
+  };
+
+  // Minimum round-trip bound per region: the earliest time an echo of
+  // region r's own execution (mail out, remote handling, mail back —
+  // possibly relayed, which the metric closure makes no shorter) can
+  // return.  Bounds how far r may run past its own floor in one round;
+  // the mail it emits only lands at the next barrier, where the floors
+  // pick it up.
+  std::vector<double> rt(region_count, kInf);
+  for (std::size_t r = 0; r < region_count; ++r) {
+    for (std::size_t s = 0; s < region_count; ++s) {
+      if (s == r) continue;
+      rt[r] = std::min(rt[r], min_delay(r, s) + min_delay(s, r));
+    }
+  }
+
+  std::vector<Time> floors(region_count, kInf);
+  try {
   for (;;) {
     stats.messages += drain_all();
-    const Time m_r = region_floor();
+    Time m_r = kInf;
+    for (std::size_t r = 0; r < region_count; ++r) {
+      floors[r] = queues_[r]->next_event_time();
+      m_r = std::min(m_r, floors[r]);
+    }
     const Time m_g = global_.next_event_time();
     const Time floor = std::min(m_r, m_g);
     if (floor == kInf || floor > t_end) break;
@@ -201,24 +257,36 @@ ParallelKernel::RunStats ParallelKernel::run(unsigned threads, Time t_end) {
       ++stats.global_phases;
       continue;  // global events may have posted mail: drain before windows
     }
-    Time w = (lookahead_ == kInf) ? m_g : m_r + lookahead_;
-    w = std::min(w, m_g);
-    if (w > t_end) {
-      // Include events at exactly t_end, nothing later (run_until parity).
-      w = std::nextafter(t_end, kInf);
+    // Asynchronous windows: each region is bounded only by the floors of
+    // regions that can actually reach it (plus the global queue), not by
+    // the global minimum — a pure function of the barrier snapshot, so
+    // every worker count executes the same round sequence.
+    for (std::size_t r = 0; r < region_count; ++r) {
+      Time w = m_g;
+      for (std::size_t s = 0; s < region_count; ++s) {
+        if (s == r || floors[s] == kInf) continue;
+        w = std::min(w, floors[s] + min_delay(s, r));
+      }
+      // Self-echo bound: r's own events from floors[r] onward can wake a
+      // peer whose reply lands back here no earlier than floors[r] + rt[r].
+      // Without it, a region whose peers are all idle would run unbounded
+      // and then receive that reply in its past.
+      if (floors[r] != kInf) w = std::min(w, floors[r] + rt[r]);
+      if (w > t_end) {
+        // Include events at exactly t_end, nothing later (run_until parity).
+        w = std::nextafter(t_end, kInf);
+      }
+      win[r] = w;
     }
-    stats.region_events += run_window(w);
+    stats.region_events += run_windows();
     ++stats.windows;
   }
-
-  if (workers > 1) {
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      shutdown = true;
-    }
-    cv_work.notify_all();
-    for (std::thread& t : pool) t.join();
+  } catch (...) {
+    stop_pool();
+    throw;
   }
+
+  stop_pool();
 
   // Line every clock up so now() reports what the sequential kernel would:
   // the last executed event time, or t_end for a bounded run.

@@ -8,30 +8,51 @@
 // bit-identical for every worker count: threads only decide *who* executes
 // a region's window, never *what* executes or in which order.
 //
-// Protocol (synchronous conservative / safe-window LBTS):
-//   floor  M  = min over every queue's next event time
-//   window W  = min(M + lookahead, next global event time)
+// Protocol (conservative with per-region asynchronous windows — a
+// null-message-style lower-bound exchange evaluated at each barrier):
+//   floors F_s = region s's next event time;  m_g = next global event time
+//   window W_r = min(m_g,
+//                    min over s != r of F_s + D(s, r),
+//                    F_r + RT_r)   where RT_r = min over s != r of
+//                                             D(r, s) + D(s, r)
 //   1. drain mailboxes + per-region drain hooks (deterministic merge)
 //   2. if the global queue holds the earliest event, line every region
 //      clock up to it and run the global events serially (a "global phase":
 //      topology mutation, fault injection, harness control — anything that
 //      must see a quiescent world)
-//   3. otherwise run every region's events with timestamp < W in parallel
+//   3. otherwise run every region's events with timestamp < W_r in parallel
+//      — each region gets its *own* bound, so a region far (in delay) from
+//      the laggard may run deep ahead instead of idling at a global window
 //   4. barrier; repeat until every queue is empty
 //
-// Safety argument: the caller guarantees every region-to-region message is
-// timestamped at least `lookahead` after the sending event (for the network
-// layer this holds structurally: any path into another region crosses an
-// inter-region link whose delay is >= lookahead, and floating-point addition
-// of non-negative delays is monotone).  An event executing in window [M, W)
-// therefore posts messages stamped >= M + lookahead >= W, i.e. never into
-// the window being executed, so intra-window execution needs no
-// synchronization at all.
+// D(s, r) is a lower bound on the timestamp increment of any region-s to
+// region-r message: by default the uniform `lookahead`, or the per-pair
+// matrix installed by set_region_distances() (the metric closure of
+// min cut-link delays over the static topology, so multi-hop relays are
+// bounded too).  Safety argument: every future message into r originates
+// from (a) a region event not yet executed — some region s at time >= F_s,
+// arriving stamped >= F_s + D(s, r) >= W_r (for the network layer this
+// holds structurally: any path into another region crosses the
+// inter-region cut, and floating-point addition of non-negative delays is
+// monotone); (b) a global event at >= m_g >= W_r; or (c) an *echo* of r's
+// own window — an event of r at t >= F_r whose mail wakes a peer whose
+// consequent mail returns, stamped >= t + D(r, s) + D(s, r) >= F_r + RT_r
+// >= W_r (relays through more regions are no earlier, by the triangle
+// inequality of the metric closure; echoes spanning later barriers are
+// covered by (a), since the intermediate mail raises those barriers'
+// floors).  So nothing can arrive inside the window being executed and
+// intra-window execution needs no synchronization at all.  Progress: the
+// globally-earliest region's window strictly exceeds its floor (D > 0,
+// RT > 0, and m_g > its floor on the window branch), so every round
+// executes at least one event.
 //
 // Determinism rules (the "merged statistics stay bit-identical" argument):
 //   - every region queue orders its events by (time, region-local seq), and
 //     region-local execution is single-threaded, so a region is a
 //     deterministic function of its inputs;
+//   - windows are pure functions of the barrier-snapshot floors and the
+//     static distance matrix, computed by the coordinator alone — worker
+//     count never changes any W_r, only who executes each region;
 //   - mailbox drains sort by (time, source region, per-source post counter),
 //     all deterministic, and allocate destination seqs in that order;
 //   - global phases run before region events carrying the same timestamp
@@ -78,6 +99,14 @@ class ParallelKernel {
   std::size_t region_count() const { return queues_.size(); }
   double lookahead() const { return lookahead_; }
 
+  // Installs the per-pair lower-bound matrix D used by the asynchronous
+  // windows: d[s][r] bounds from below the timestamp increment of any
+  // region-s to region-r message (+infinity for pairs that never talk).
+  // Must be region_count() x region_count() with every off-diagonal entry
+  // >= lookahead (the uniform bound it refines).  Optional: without it
+  // every pair falls back to `lookahead`.
+  void set_region_distances(std::vector<std::vector<double>> d);
+
   EventQueue& region_queue(std::size_t r) { return *queues_.at(r); }
   // Serialized control queue: fault injection, harness round driving, and
   // any other event that must observe a quiescent world belongs here.
@@ -89,8 +118,12 @@ class ParallelKernel {
 
   // Posts fn to execute in region `to`'s queue at absolute time `when`.
   // From a region event, `from` is the executing region and `when` must be
-  // >= that region's clock + lookahead (asserted); from a global phase pass
-  // kGlobalRegion, where any `when` >= the current global time is legal.
+  // >= that region's clock + the pair's delay lower bound (asserted); from
+  // a global phase pass kGlobalRegion, where any `when` >= the current
+  // global time is legal.  Mail is delivered at the next barrier, so a
+  // region posting to *itself* must stamp past its own current window
+  // (region events that want same-window follow-ups should schedule_at on
+  // their own queue directly instead).
   // At most one region executes at a time per `from`, so each (to, from)
   // lane has a single writer and posting is synchronization-free.
   void post(std::size_t from, std::size_t to, Time when,
@@ -127,19 +160,25 @@ class ParallelKernel {
 
   // Drains lanes + hooks for every region; returns messages drained.
   std::uint64_t drain_all();
-  // Earliest pending region event across all regions.
-  Time region_floor();
+  // Lower bound on the timestamp increment of from -> to mail.
+  double min_delay(std::size_t from, std::size_t to) const {
+    return (dist_.empty() || from == to) ? lookahead_ : dist_[from][to];
+  }
 
   double lookahead_;
   std::vector<std::unique_ptr<EventQueue>> queues_;
   EventQueue global_;
+  // dist_[s][r]: per-pair delay lower bound (empty = uniform lookahead_).
+  std::vector<std::vector<double>> dist_;
   // lanes_[to][from]: pending mail, appended by `from`'s worker only.
   // The from dimension has region_count() + 1 entries; the last is the
   // global-phase lane.
   std::vector<std::vector<std::vector<Mail>>> lanes_;
   std::vector<std::uint64_t> lane_seq_;  // per source lane post counter
   std::vector<std::function<void()>> drain_hooks_;
-  std::vector<Mail> drain_scratch_;
+  // Per-destination merge buffers, reused across drains so steady-state
+  // drains never reallocate (capacity tracks each region's mail volume).
+  std::vector<std::vector<Mail>> drain_scratch_;
   RunStats total_;
 };
 

@@ -198,7 +198,8 @@ TEST_F(InjectorTest, BurstEpochInstallsAndRemovesFaultDropPolicy) {
 
   queue_.schedule_at(2.0, [this] {
     EXPECT_NE(net_->fault_drop_policy(), nullptr);
-    // Two multicasts: the first hop seeds the bad state, the second drops.
+    // With p_good_bad = 1 the time-slotted chain is bad from slot 1 on, so
+    // both multicasts at t=2.0 land in the bad state and drop.
     net_->multicast(0, make_packet(1));
     net_->multicast(0, make_packet(1));
   });
@@ -208,8 +209,8 @@ TEST_F(InjectorTest, BurstEpochInstallsAndRemovesFaultDropPolicy) {
   });
   queue_.run();
 
-  EXPECT_EQ(sinks_[1]->received, 2);  // one burst loss, one clean delivery
-  EXPECT_EQ(net_->stats().drops, 1u);
+  EXPECT_EQ(sinks_[1]->received, 1);  // two burst losses, one clean delivery
+  EXPECT_EQ(net_->stats().drops, 2u);
   EXPECT_EQ(injector.stats().burst_epochs, 1u);
 }
 

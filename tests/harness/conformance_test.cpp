@@ -62,7 +62,7 @@ TEST_P(CleanRunTest, RandomLossStreamIsConformant) {
   ConformanceChecker checker(session.network(), session.directory(),
                              cfg.holddown_multiplier);
   session.network().set_drop_policy(std::make_shared<net::RandomDrop>(
-      0.2, util::Rng(seed), [](const net::Packet& p) {
+      0.2, seed, [](const net::Packet& p) {
         return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
       }));
   const PageId page{static_cast<SourceId>(members[0]), 0};

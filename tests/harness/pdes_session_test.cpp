@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fault/checker.h"
+#include "net/drop_policy.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "harness/fault_scenarios.h"
@@ -169,6 +171,153 @@ TEST_P(PdesFigureTest, StatsMatchSequentialKernel) {
 INSTANTIATE_TEST_SUITE_P(Figures, PdesFigureTest,
                          ::testing::Values(Fig::kRandomTree, Fig::kDenseTree,
                                            Fig::kAdaptive));
+
+// --- stochastic loss under PDES --------------------------------------------
+
+enum class Stoch { kRandomDrop, kGilbertElliott, kBurstPlan };
+
+struct StochOutcome {
+  std::vector<harness::RoundResult> rounds;  // completed rounds only
+  std::size_t disrupted = 0;                 // rounds eaten by the loss
+  net::NetworkStats stats;
+  std::vector<trace::Event> events;
+  double end_time = 0.0;
+};
+
+// Three loss rounds with background stochastic loss in the fault policy
+// slot: an always-on keyed RandomDrop, an always-on keyed Gilbert-Elliott
+// chain, or a fault-plan burst epoch installed by the injector mid-run.
+// The stochastic draws are keyed by stable hop coordinates, so the whole
+// scenario must stay deterministic across kernels and thread counts.
+StochOutcome run_stochastic(Stoch mode, std::uint64_t seed,
+                            unsigned kernel_threads,
+                            std::uint32_t kernel_regions) {
+  util::Rng rng(seed);
+  net::Topology topo = topo::make_random_tree(80, rng);
+  std::vector<net::NodeId> all(topo.node_count());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<net::NodeId>(i);
+  }
+  rng.shuffle(all);
+  std::vector<net::NodeId> members(all.begin(), all.begin() + 20);
+  std::sort(members.begin(), members.end());
+  const net::NodeId source = members[rng.index(members.size())];
+
+  SrmConfig cfg;
+  cfg.timers = paper_fixed_params(members.size());
+  cfg.backoff_factor = 3.0;
+  harness::SimSession::Options opts{cfg, seed, /*group=*/1};
+  opts.kernel_threads = kernel_threads;
+  opts.kernel_regions = kernel_regions;
+  harness::SimSession session(std::move(topo), members, opts);
+
+  trace::VectorSink capture;
+  trace::Tracer tracer;
+  tracer.set_sink(&capture);
+  tracer.set_mask(static_cast<std::uint32_t>(trace::Category::kSrm) |
+                  static_cast<std::uint32_t>(trace::Category::kNet));
+  session.set_tracer(&tracer);
+
+  // Rare, short bursts: the default chain (5% burst entry per slot per
+  // link, mean burst 2 slots, 100% loss) makes recovery retries stretch
+  // virtual time far enough to dominate the test's runtime.  The keying —
+  // not the loss rate — is what's under test.
+  net::GilbertElliottDrop::Params ge;
+  ge.p_good_bad = 0.01;
+  ge.p_bad_good = 0.5;
+  std::unique_ptr<fault::FaultInjector> injector;
+  switch (mode) {
+    case Stoch::kRandomDrop:
+      session.network().set_fault_drop_policy(
+          std::make_shared<net::RandomDrop>(0.03, seed ^ 0x5EEDF00Dull));
+      break;
+    case Stoch::kGilbertElliott:
+      session.network().set_fault_drop_policy(
+          std::make_shared<net::GilbertElliottDrop>(ge, seed ^ 0xB00B5ull));
+      break;
+    case Stoch::kBurstPlan: {
+      fault::FaultPlan plan;
+      plan.burst_on(10.0, ge);
+      plan.burst_off(200.0);
+      injector = std::make_unique<fault::FaultInjector>(
+          session.queue(), session.mutable_topology(), session.network(),
+          std::move(plan), session.rng().fork());
+      injector->set_tracer(session.control_tracer());
+      injector->arm();
+      break;
+    }
+  }
+
+  harness::RoundSpec spec;
+  spec.source_node = source;
+  spec.congested = harness::choose_congested_link(
+      session.network().routing(), source, members, rng);
+  spec.page = PageId{static_cast<SourceId>(source), 0};
+  StochOutcome out;
+  for (int r = 0; r < 3; ++r) {
+    try {
+      out.rounds.push_back(
+          harness::run_loss_round(session, spec, static_cast<SeqNo>(r * 2)));
+    } catch (const std::exception&) {
+      // Background loss can eat the scripted drop's packet upstream of the
+      // congested link; all kernels must agree on *which* rounds die.
+      ++out.disrupted;
+    }
+  }
+  out.stats = session.network_stats();
+  out.events = capture.events();
+  out.end_time = session.now();
+  return out;
+}
+
+class PdesStochasticTest : public ::testing::TestWithParam<Stoch> {};
+
+TEST_P(PdesStochasticTest, BitIdenticalAcrossKernelThreadCounts) {
+  const StochOutcome t1 = run_stochastic(GetParam(), 31, 1, 4);
+  const StochOutcome t2 = run_stochastic(GetParam(), 31, 2, 4);
+  const StochOutcome t8 = run_stochastic(GetParam(), 31, 8, 4);
+  // At least one round must survive the background loss, or the per-round
+  // comparisons below are vacuous (pick a different seed if this trips).
+  ASSERT_FALSE(t1.rounds.empty());
+  EXPECT_EQ(t1.disrupted, t2.disrupted);
+  EXPECT_EQ(t1.disrupted, t8.disrupted);
+  ASSERT_EQ(t1.rounds.size(), t2.rounds.size());
+  ASSERT_EQ(t1.rounds.size(), t8.rounds.size());
+  for (std::size_t r = 0; r < t1.rounds.size(); ++r) {
+    expect_rounds_identical(t1.rounds[r], t2.rounds[r], "threads 1 vs 2");
+    expect_rounds_identical(t1.rounds[r], t8.rounds[r], "threads 1 vs 8");
+  }
+  expect_stats_identical(t1.stats, t2.stats, "threads 1 vs 2");
+  expect_stats_identical(t1.stats, t8.stats, "threads 1 vs 8");
+  EXPECT_EQ(t1.end_time, t2.end_time);
+  EXPECT_EQ(t1.end_time, t8.end_time);
+  expect_traces_identical(t1.events, t2.events, "threads 1 vs 2");
+  expect_traces_identical(t1.events, t8.events, "threads 1 vs 8");
+  EXPECT_FALSE(t1.events.empty());
+  // The scripted drop contributes exactly one per completed round, so any
+  // excess proves the stochastic policy fired; a disrupted round proves it
+  // directly (only background loss can eat the scripted packet).
+  if (t1.disrupted == 0) EXPECT_GT(t1.stats.drops, t1.rounds.size());
+}
+
+TEST_P(PdesStochasticTest, StatsMatchSequentialKernel) {
+  const StochOutcome seq = run_stochastic(GetParam(), 77, 0, 0);
+  const StochOutcome par = run_stochastic(GetParam(), 77, 2, 4);
+  ASSERT_FALSE(seq.rounds.empty());
+  EXPECT_EQ(seq.disrupted, par.disrupted);
+  ASSERT_EQ(seq.rounds.size(), par.rounds.size());
+  for (std::size_t r = 0; r < seq.rounds.size(); ++r) {
+    expect_rounds_identical(seq.rounds[r], par.rounds[r], "seq vs parallel");
+  }
+  expect_stats_identical(seq.stats, par.stats, "seq vs parallel");
+  EXPECT_EQ(seq.end_time, par.end_time);
+  if (seq.disrupted == 0) EXPECT_GT(seq.stats.drops, seq.rounds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(StochasticLoss, PdesStochasticTest,
+                         ::testing::Values(Stoch::kRandomDrop,
+                                           Stoch::kGilbertElliott,
+                                           Stoch::kBurstPlan));
 
 // --- the fault-injection acceptance scenario under PDES --------------------
 

@@ -92,7 +92,7 @@ TEST_P(ConvergenceTest, AllDataReachesAllMembersUnderRandomLoss) {
   // Random loss on data packets only (requests/repairs get through, as in
   // the paper's Sec. V methodology).
   session.network().set_drop_policy(std::make_shared<net::RandomDrop>(
-      param.loss_rate, util::Rng(param.seed ^ 0xABCD),
+      param.loss_rate, param.seed ^ 0xABCD,
       [](const net::Packet& p) {
         return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
       }));

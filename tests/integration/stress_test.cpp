@@ -44,7 +44,7 @@ TEST_P(StressTest, ConvergesUnderOmnidirectionalLoss) {
   // Loss on everything (no payload filter): data, requests, repairs,
   // session messages alike.
   session.network().set_drop_policy(std::make_shared<net::RandomDrop>(
-      p.loss_rate, util::Rng(p.seed ^ 0x10552)));
+      p.loss_rate, p.seed ^ 0x10552));
 
   const net::NodeId source = members[0];
   const PageId page{static_cast<SourceId>(source), 0};

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "srm/messages.h"
 
@@ -72,30 +74,64 @@ TEST(ScriptedLinkDropTest, RejectsNullPredicate) {
 }
 
 TEST(RandomDropTest, RateZeroNeverDrops) {
-  RandomDrop d(0.0, util::Rng(1));
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  RandomDrop d(0.0, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1, i}));
   }
 }
 
 TEST(RandomDropTest, RateOneAlwaysDrops) {
-  RandomDrop d(1.0, util::Rng(1));
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  RandomDrop d(1.0, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1, i}));
   }
 }
 
 TEST(RandomDropTest, ApproximatesRate) {
-  RandomDrop d(0.3, util::Rng(42));
+  RandomDrop d(0.3, 42);
   int drops = 0;
-  for (int i = 0; i < 10000; ++i) {
-    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) ++drops;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1, i})) ++drops;
   }
   EXPECT_NEAR(drops / 10000.0, 0.3, 0.03);
 }
 
+TEST(RandomDropTest, DecisionIsPureFunctionOfKey) {
+  // The verdict for (seed, edge, ordinal) does not depend on consult order
+  // or on what other hops were consulted — the PDES-safety property.
+  RandomDrop a(0.5, 7);
+  RandomDrop b(0.5, 7);
+  // a consults ordinals ascending; b descending, interleaved with noise on
+  // another link.
+  std::vector<bool> fwd;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fwd.push_back(a.should_drop(packet_with_tag(0), HopContext{3, 0, 1, i}));
+  }
+  for (std::uint64_t i = 200; i-- > 0;) {
+    b.should_drop(packet_with_tag(0), HopContext{9, 5, 6, i});
+    EXPECT_EQ(b.should_drop(packet_with_tag(0), HopContext{3, 0, 1, i}),
+              fwd[i]);
+  }
+}
+
+TEST(RandomDropTest, DirectionsAndLinksAreIndependentStreams) {
+  RandomDrop d(0.5, 11);
+  int forward = 0, reverse = 0, other = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    if (d.should_drop(packet_with_tag(0), HopContext{2, 0, 1, i})) ++forward;
+    if (d.should_drop(packet_with_tag(0), HopContext{2, 1, 0, i})) ++reverse;
+    if (d.should_drop(packet_with_tag(0), HopContext{3, 0, 1, i})) ++other;
+  }
+  // All three see the same ordinals but draw from distinct streams; at rate
+  // 0.5 over 400 trials identical streams would match exactly, independent
+  // ones differ with overwhelming probability.
+  EXPECT_NE(forward, 0);
+  EXPECT_NE(forward, 400);
+  EXPECT_TRUE(forward != reverse || forward != other);
+}
+
 TEST(RandomDropTest, RestrictToLimitsLink) {
-  RandomDrop d(1.0, util::Rng(1));
+  RandomDrop d(1.0, 1);
   d.restrict_to(3, 4);
   EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
   EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 4, 3}));
@@ -103,14 +139,14 @@ TEST(RandomDropTest, RestrictToLimitsLink) {
 }
 
 TEST(RandomDropTest, PredicateFilters) {
-  RandomDrop d(1.0, util::Rng(1), [](const Packet& p) { return tag_is(p, 5); });
+  RandomDrop d(1.0, 1, [](const Packet& p) { return tag_is(p, 5); });
   EXPECT_FALSE(d.should_drop(packet_with_tag(4), HopContext{0, 0, 1}));
   EXPECT_TRUE(d.should_drop(packet_with_tag(5), HopContext{0, 0, 1}));
 }
 
 TEST(RandomDropTest, RejectsBadRate) {
-  EXPECT_THROW(RandomDrop(-0.1, util::Rng(1)), std::invalid_argument);
-  EXPECT_THROW(RandomDrop(1.1, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomDrop(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(RandomDrop(1.1, 1), std::invalid_argument);
 }
 
 TEST(CompositeDropTest, DropsIfAnyPolicyDrops) {
@@ -190,24 +226,27 @@ TEST(GilbertElliottDropTest, GoodStateWithZeroLossNeverDrops) {
   GilbertElliottDrop::Params p;
   p.p_good_bad = 0.0;  // never leaves the good state
   p.loss_good = 0.0;
-  GilbertElliottDrop d(p, util::Rng(1));
-  for (int i = 0; i < 1000; ++i) {
-    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  GilbertElliottDrop d(p, 1);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0),
+                               HopContext{0, 0, 1, i, 0.1 * i}));
   }
-  EXPECT_FALSE(d.in_bad_state());
+  EXPECT_FALSE(d.in_bad_state(0, 100.0));
 }
 
 TEST(GilbertElliottDropTest, EntersBadStateAndDropsEverything) {
   GilbertElliottDrop::Params p;
-  p.p_good_bad = 1.0;  // flip to bad on the first consulted hop
+  p.p_good_bad = 1.0;  // flip to bad after the first slot
   p.p_bad_good = 0.0;  // and stay there
   p.loss_bad = 1.0;
-  GilbertElliottDrop d(p, util::Rng(1));
-  // First hop is drawn in the good state (loss_good = 0), then flips.
-  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
-  EXPECT_TRUE(d.in_bad_state());
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  GilbertElliottDrop d(p, 1);
+  // Slot 0 is always good (loss_good = 0); every later slot is bad.
+  EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1, 0, 0.0}));
+  EXPECT_FALSE(d.in_bad_state(0, 0.0));
+  EXPECT_TRUE(d.in_bad_state(0, p.slot_dt));
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(d.should_drop(packet_with_tag(0),
+                              HopContext{0, 0, 1, i, i * p.slot_dt}));
   }
 }
 
@@ -217,26 +256,31 @@ TEST(GilbertElliottDropTest, StationaryLossRateMatchesTheory) {
   GilbertElliottDrop::Params p;
   p.p_good_bad = 0.1;
   p.p_bad_good = 0.3;
-  GilbertElliottDrop d(p, util::Rng(42));
-  const int hops = 20000;
+  GilbertElliottDrop d(p, 42);
+  const int hops = 20000;  // one hop per chain slot
   int drops = 0;
-  for (int i = 0; i < hops; ++i) {
-    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) ++drops;
+  for (std::uint64_t i = 0; i < hops; ++i) {
+    if (d.should_drop(packet_with_tag(0),
+                      HopContext{0, 0, 1, i, i * p.slot_dt})) {
+      ++drops;
+    }
   }
   EXPECT_NEAR(static_cast<double>(drops) / hops, 0.25, 0.03);
 }
 
 TEST(GilbertElliottDropTest, MeanBurstLengthMatchesTheory) {
-  // Loss bursts are the bad-state sojourns: geometric with mean 1/p_bg.
+  // Loss bursts are the bad-state sojourns: geometric with mean 1/p_bg
+  // slots (sampled with one hop per slot).
   GilbertElliottDrop::Params p;
   p.p_good_bad = 0.05;
   p.p_bad_good = 0.3;
-  GilbertElliottDrop d(p, util::Rng(7));
+  GilbertElliottDrop d(p, 7);
   int bursts = 0;
   int burst_hops = 0;
   int run = 0;
-  for (int i = 0; i < 200000; ++i) {
-    if (d.should_drop(packet_with_tag(0), HopContext{0, 0, 1})) {
+  for (std::uint64_t i = 0; i < 200000; ++i) {
+    if (d.should_drop(packet_with_tag(0),
+                      HopContext{0, 0, 1, i, i * p.slot_dt})) {
       ++run;
     } else if (run > 0) {
       ++bursts;
@@ -248,44 +292,61 @@ TEST(GilbertElliottDropTest, MeanBurstLengthMatchesTheory) {
   EXPECT_NEAR(static_cast<double>(burst_hops) / bursts, 1.0 / 0.3, 0.3);
 }
 
+TEST(GilbertElliottDropTest, ChainIsPureFunctionOfTime) {
+  // Querying the chain out of order (even backwards) returns the same
+  // states as a fresh policy queried forwards: the per-link chain is a
+  // pure function of (seed, link, slot), not of consultation history.
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.2;
+  p.p_bad_good = 0.2;
+  GilbertElliottDrop fwd(p, 9);
+  GilbertElliottDrop scattered(p, 9);
+  std::vector<bool> states;
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    states.push_back(fwd.in_bad_state(0, k * p.slot_dt));
+  }
+  for (std::uint64_t k = 300; k-- > 0;) {
+    scattered.in_bad_state(1, (k * 7 % 300) * p.slot_dt);  // noise, link 1
+    EXPECT_EQ(scattered.in_bad_state(0, k * p.slot_dt), states[k]);
+  }
+}
+
+TEST(GilbertElliottDropTest, LinksHaveIndependentChains) {
+  GilbertElliottDrop::Params p;
+  p.p_good_bad = 0.3;
+  p.p_bad_good = 0.3;
+  GilbertElliottDrop d(p, 13);
+  bool differ = false;
+  for (std::uint64_t k = 1; k < 200 && !differ; ++k) {
+    differ = d.in_bad_state(0, k * p.slot_dt) != d.in_bad_state(1, k * p.slot_dt);
+  }
+  EXPECT_TRUE(differ);
+}
+
 TEST(GilbertElliottDropTest, RestrictToLeavesOtherLinksUntouched) {
   GilbertElliottDrop::Params p;
   p.p_good_bad = 1.0;
   p.loss_bad = 1.0;
-  GilbertElliottDrop d(p, util::Rng(1));
+  GilbertElliottDrop d(p, 1);
   d.restrict_to(3, 4);
-  // Hops elsewhere neither drop nor advance the channel state.
-  for (int i = 0; i < 50; ++i) {
-    EXPECT_FALSE(d.should_drop(packet_with_tag(0), HopContext{0, 0, 1}));
+  // Hops elsewhere are never dropped, deep into the bad state or not.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(d.should_drop(packet_with_tag(0),
+                               HopContext{0, 0, 1, i, i * p.slot_dt}));
   }
-  EXPECT_FALSE(d.in_bad_state());
   EXPECT_EQ(d.drops_so_far(), 0u);
-}
-
-TEST(GilbertElliottDropTest, ExactlyTwoDrawsPerConsultedHop) {
-  // Two policies with identical params and seeds stay in lock-step even
-  // when only one of them sees packets that match its predicate — the
-  // loss and transition draws happen on every consulted hop.
-  GilbertElliottDrop::Params p;
-  p.p_good_bad = 0.2;
-  p.p_bad_good = 0.2;
-  GilbertElliottDrop a(p, util::Rng(9));
-  GilbertElliottDrop b(p, util::Rng(9));
-  for (int i = 0; i < 500; ++i) {
-    a.should_drop(packet_with_tag(0), HopContext{0, 0, 1});
-    b.should_drop(packet_with_tag(0), HopContext{0, 0, 1});
-    EXPECT_EQ(a.in_bad_state(), b.in_bad_state());
-  }
-  EXPECT_EQ(a.drops_so_far(), b.drops_so_far());
 }
 
 TEST(GilbertElliottDropTest, RejectsBadParams) {
   GilbertElliottDrop::Params p;
   p.p_good_bad = 1.5;
-  EXPECT_THROW(GilbertElliottDrop(p, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottDrop(p, 1), std::invalid_argument);
   p = {};
   p.loss_bad = -0.1;
-  EXPECT_THROW(GilbertElliottDrop(p, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottDrop(p, 1), std::invalid_argument);
+  p = {};
+  p.slot_dt = 0.0;
+  EXPECT_THROW(GilbertElliottDrop(p, 1), std::invalid_argument);
 }
 
 // ---- first-match composition ------------------------------------------------

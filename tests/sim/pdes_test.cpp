@@ -194,6 +194,82 @@ TEST(PdesKernelTest, SingleRegionNeedsNoLookahead) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(PdesKernelTest, SetRegionDistancesValidatesShapeAndBound) {
+  ParallelKernel k(2, 1.0);
+  // Not 2x2.
+  EXPECT_THROW(k.set_region_distances({{0.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(k.set_region_distances({{0.0}, {2.0}}), std::invalid_argument);
+  // Off-diagonal below the uniform lookahead: the matrix claims mail can
+  // outrun the partition's own cut bound.
+  EXPECT_THROW(k.set_region_distances({{0.0, 0.5}, {2.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(k.set_region_distances({{0.0, 2.0}, {3.0, 0.0}}));
+}
+
+TEST(PdesKernelTest, DistanceMatrixWidensWindows) {
+  // Two regions whose true separation (5) is far above the uniform
+  // lookahead (1): with the matrix installed the same event ladder
+  // completes in far fewer barrier rounds, with identical results.
+  const auto run_with = [](bool matrix, unsigned threads) {
+    ParallelKernel k(2, 1.0);
+    if (matrix) k.set_region_distances({{0.0, 5.0}, {5.0, 0.0}});
+    std::atomic<int> fired{0};
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (int i = 0; i < 10; ++i) {
+        k.region_queue(r).schedule_at(static_cast<double>(i), [&] { ++fired; });
+      }
+    }
+    const auto stats = k.run(threads);
+    EXPECT_EQ(fired.load(), 20);
+    return stats;
+  };
+  const auto uniform = run_with(false, 2);
+  const auto paired = run_with(true, 2);
+  EXPECT_EQ(uniform.region_events, paired.region_events);
+  EXPECT_LT(paired.windows, uniform.windows);
+  // floors (0,0) -> window 5 runs t in [0,5), floors (5,5) -> window 10.
+  EXPECT_EQ(paired.windows, 2u);
+  // Window shapes are a pure function of the floors: thread count changes
+  // neither the round count nor the events-per-round split.
+  const auto paired1 = run_with(true, 1);
+  EXPECT_EQ(paired1.windows, paired.windows);
+  EXPECT_EQ(paired1.messages, paired.messages);
+}
+
+TEST(PdesKernelTest, SelfEchoDoesNotOutrunLoneActiveRegion) {
+  // Regression: only region 0 has queued events, so no peer floor bounds
+  // its window — but its own mail wakes region 1, whose reply must not
+  // land in region 0's past.  The self-echo term (floor + min round trip)
+  // caps the window; without it this run throws "time in the past".
+  const auto run_with = [](unsigned threads) {
+    ParallelKernel k(2, 1.0);
+    Log log;
+    for (int i = 0; i <= 10; ++i) {
+      const double t = static_cast<double>(i);
+      k.region_queue(0).schedule_at(t, [&log, &k, t] {
+        log.add(t, 0);
+        if (t == 0.0) {
+          k.post(0, 1, 1.0, [&log, &k] {
+            log.add(k.region_queue(1).now(), 1);
+            k.post(1, 0, k.region_queue(1).now() + 1.0, [&log, &k] {
+              log.add(k.region_queue(0).now(), 2);
+            });
+          });
+        }
+      });
+    }
+    k.run(threads);
+    return log.sorted();
+  };
+  const auto one = run_with(1);
+  ASSERT_EQ(one.size(), 13u);
+  EXPECT_EQ(one[1], (std::pair<double, int>{1.0, 0}));
+  EXPECT_EQ(one[2], (std::pair<double, int>{1.0, 1}));  // echo out at t=1
+  EXPECT_EQ(one[3], (std::pair<double, int>{2.0, 0}));
+  EXPECT_EQ(one[4], (std::pair<double, int>{2.0, 2}));  // echo back at t=2
+  EXPECT_EQ(run_with(2), one);
+}
+
 TEST(PdesEventQueueTest, RunBeforeStopsStrictlyBeforeBound) {
   EventQueue q;
   std::vector<double> fired;

@@ -167,6 +167,30 @@ TEST(KeyedDrawTest, UnitIsInHalfOpenIntervalAndRoughlyUniform) {
   EXPECT_NEAR(sum / 4096.0, 0.5, 0.02);
 }
 
+TEST(KeyedDrawTest, SaltedStreamsAreIndependent) {
+  // The stochastic drop policies carve independent streams out of one seed
+  // by salting the first key component (kSaltRandomDrop / kSaltGeLoss /
+  // kSaltGeTransition in net/drop_policy.cpp).  Walking one component with
+  // the others fixed must give per-salt streams that look pairwise
+  // independent: XORing paired draws should flip about half the 64 bits.
+  const int n = 2048;
+  long long diff_bits = 0;
+  int collisions = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t a = keyed_u64(99, 1, i, 7);
+    const std::uint64_t b = keyed_u64(99, 2, i, 7);
+    if (a == b) ++collisions;
+    std::uint64_t x = a ^ b;
+    while (x != 0) {
+      x &= x - 1;
+      ++diff_bits;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+  const double mean_bits = static_cast<double>(diff_bits) / n;
+  EXPECT_NEAR(mean_bits, 32.0, 1.0);  // ~N(32, 4): 1.0 is ~11 sigma of mean
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng r(19);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

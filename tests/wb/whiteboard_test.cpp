@@ -102,7 +102,7 @@ TEST(WhiteboardTest, ConvergesDespitePacketLoss) {
 
   // 20% random loss on data packets everywhere.
   s.network().set_drop_policy(std::make_shared<net::RandomDrop>(
-      0.2, util::Rng(99), [](const net::Packet& p) {
+      0.2, 99, [](const net::Packet& p) {
         return dynamic_cast<const DataMessage*>(p.payload.get()) != nullptr;
       }));
   for (int i = 0; i < 20; ++i) {
